@@ -1,0 +1,107 @@
+// Command diablo reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	diablo list
+//	diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S]
+//	diablo all  [-requests N] [-iterations N]
+//
+// IDs follow the paper: fig2, table1, table2, proto, fig6a, fig6b, fig8,
+// fig9, fig10, fig11, fig12, fig13, fig14, fig15, perf. Reduced request and
+// iteration counts are the default (see DESIGN.md); raise them toward the
+// paper's 30,000 requests / 40 iterations for full-scale runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"diablo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range diablo.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		id := os.Args[2]
+		opts := parseOpts(os.Args[3:])
+		if err := runOne(id, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "diablo:", err)
+			os.Exit(1)
+		}
+	case "all":
+		opts := parseOpts(os.Args[2:])
+		for _, e := range diablo.Experiments() {
+			if err := runOne(e.ID, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "diablo:", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, opts diablo.ExperimentOptions) error {
+	start := time.Now()
+	out, err := diablo.RunExperiment(id, opts)
+	if err != nil {
+		return err
+	}
+	for _, e := range diablo.Experiments() {
+		if e.ID == id {
+			fmt.Printf("==== %s — %s\n", e.ID, e.Title)
+		}
+	}
+	fmt.Print(out.String())
+	fmt.Printf("# wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func parseOpts(args []string) diablo.ExperimentOptions {
+	fs := flag.NewFlagSet("diablo", flag.ExitOnError)
+	requests := fs.Int("requests", 0, "requests per memcached client (0 = reduced default; paper uses 30000)")
+	iterations := fs.Int("iterations", 0, "incast iterations per point (0 = default; paper uses 40)")
+	senders := fs.String("senders", "", "comma-separated incast sender counts (default 1..24)")
+	seed := fs.Uint64("seed", 0, "master seed (0 = default)")
+	_ = fs.Parse(args)
+
+	var opts diablo.ExperimentOptions
+	opts.Requests = *requests
+	opts.Iterations = *iterations
+	opts.Seed = *seed
+	if *senders != "" {
+		for _, s := range strings.Split(*senders, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "diablo: bad sender count %q\n", s)
+				os.Exit(2)
+			}
+			opts.Senders = append(opts.Senders, n)
+		}
+	}
+	return opts
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  diablo list
+  diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S]
+  diablo all [flags]`)
+}

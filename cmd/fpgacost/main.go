@@ -1,0 +1,38 @@
+// Command fpgacost reproduces the paper's hardware arithmetic: Table 2
+// resource utilization, the §3.4 prototype capacity, and the cost
+// comparison against a real WSC array. It also answers "how many boards for
+// N servers" for arbitrary N.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"diablo/internal/fpga"
+)
+
+func main() {
+	servers := flag.Int("servers", 0, "also compute the boards needed for this many simulated servers")
+	flag.Parse()
+
+	fmt.Println(fpga.Table2().String())
+
+	total := fpga.RackFPGATotal()
+	fmt.Printf("binding-resource utilization on Virtex-5 LX155T: %.0f%%\n\n",
+		total.Utilization(fpga.Virtex5LX155T)*100)
+
+	p := fpga.PaperPrototype()
+	fmt.Printf("prototype: %d BEE3 boards -> %d simulated servers, %d rack switches, %d GB DRAM in %d channels, $%d\n",
+		p.TotalBoards(), p.SimulatedServers(), p.SimulatedRackSwitches(),
+		p.TotalDRAMGB(), p.DRAMChannels(), p.CostUSD())
+
+	c := fpga.PaperCostComparison()
+	fmt.Printf("economics: $%d DIABLO vs $%d CAPEX (+$%d/month OPEX) for the real array: %.0fx cheaper\n",
+		c.DIABLOCostUSD, c.RealArrayCapexUSD, c.RealArrayOpexPerMoUSD, c.CapexRatio())
+
+	if *servers > 0 {
+		s := fpga.ScaledSystem(fpga.BEE3(), *servers)
+		fmt.Printf("\nscaling: %d servers need %d rack + %d switch boards (%d total, $%d, %d actual server slots)\n",
+			*servers, s.RackBoards, s.SwitchBoards, s.TotalBoards(), s.CostUSD(), s.SimulatedServers())
+	}
+}

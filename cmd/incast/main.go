@@ -1,0 +1,77 @@
+// Command incast runs one TCP Incast configuration (§4.1) and prints the
+// per-run details the figure-level sweep aggregates away: goodput, per
+// iteration timings and protocol statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diablo"
+	"diablo/internal/core"
+	"diablo/internal/trace"
+)
+
+func main() {
+	senders := flag.Int("senders", 8, "storage servers returning data")
+	block := flag.Int("block", 256*1024, "bytes per server per iteration")
+	iterations := flag.Int("iterations", 40, "synchronized read iterations")
+	epoll := flag.Bool("epoll", false, "use the epoll client instead of pthread")
+	tenG := flag.Bool("10g", false, "10 Gbps low-latency switch instead of 1 Gbps shallow-buffer")
+	shared := flag.Bool("shared", false, "shared-buffer commodity switch (the real-hardware proxy)")
+	ghz := flag.Float64("ghz", 4, "server CPU clock in GHz")
+	minRTOms := flag.Int("minrto", 200, "TCP minimum RTO in milliseconds")
+	seed := flag.Uint64("seed", 1, "master seed")
+	traceDrops := flag.Bool("trace-drops", false, "print a tcpdump-style trace of dropped frames")
+	flag.Parse()
+
+	cfg := diablo.DefaultIncast(*senders)
+	cfg.BlockBytes = *block
+	cfg.Iterations = *iterations
+	cfg.Epoll = *epoll
+	cfg.CPU = diablo.GHz(*ghz)
+	cfg.MinRTO = diablo.Duration(*minRTOms) * diablo.Millisecond
+	cfg.Seed = *seed
+	if *tenG {
+		cfg.Switch = diablo.TenGigLowLatency("tor", 0)
+	}
+	if *shared {
+		cfg.Switch = diablo.SharedBufferCommodity("tor", 0)
+	}
+
+	var tr *trace.Tracer
+	if *traceDrops {
+		cfg.OnCluster = func(c *core.Cluster) {
+			tr = trace.New(func() diablo.Time { return c.Eng.Now() }, 256, nil)
+			for i, sw := range c.Tors {
+				sw.OnDrop = tr.DropHook(fmt.Sprintf("tor-%d", i))
+			}
+		}
+	}
+
+	res, err := diablo.RunIncast(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("senders=%d switch=%s cpu=%.1fGHz client=%s minRTO=%dms\n",
+		*senders, cfg.Switch.Arch, *ghz, clientName(*epoll), *minRTOms)
+	fmt.Printf("goodput   %.1f Mbps (%d bytes over %v)\n", res.GoodputBps/1e6, res.Bytes, res.Elapsed)
+	fmt.Printf("loss      %d timeouts, %d fast retransmits, %d retransmitted segments\n",
+		res.Timeouts, res.FastRetransmits, res.Retransmits)
+	for i, d := range res.IterTimes {
+		fmt.Printf("iter %2d   %v\n", i, d)
+	}
+	if tr != nil {
+		fmt.Printf("\n# dropped frames (last %d; %d older dropped from the ring)\n", tr.Len(), tr.Dropped)
+		fmt.Print(tr.String())
+	}
+}
+
+func clientName(epoll bool) string {
+	if epoll {
+		return "epoll"
+	}
+	return "pthread"
+}

@@ -1,0 +1,101 @@
+package diablo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{
+		"fig2", "table1", "table2", "proto",
+		"fig6a", "fig6b", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "perf",
+	}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("registry missing %q", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(have), len(want))
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestStaticExperimentsRender(t *testing.T) {
+	for _, id := range []string{"fig2", "table1", "table2", "proto"} {
+		out, err := RunExperiment(id, ExperimentOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if strings.TrimSpace(out.String()) == "" {
+			t.Fatalf("%s rendered empty", id)
+		}
+	}
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	// The README quickstart, as a test: the public API must be sufficient
+	// to build a cluster and run application code.
+	cluster, err := NewCluster(DefaultClusterConfig(TopologyParams{
+		ServersPerRack: 2, RacksPerArray: 1, Arrays: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	var got any
+	cluster.Machine(0).Spawn("server", func(th *Thread) {
+		sock, err := th.UDPSocket(7000)
+		if err != nil {
+			return
+		}
+		_, _, payload, err := sock.RecvFrom(th)
+		if err != nil {
+			return
+		}
+		got = payload
+	})
+	cluster.Machine(1).Spawn("client", func(th *Thread) {
+		sock, err := th.UDPSocket(0)
+		if err != nil {
+			return
+		}
+		_ = sock.SendTo(th, Addr{Node: 0, Port: 7000}, 64, "hello")
+	})
+	cluster.RunUntil(Second)
+	if got != "hello" {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestExperimentSmallRuns(t *testing.T) {
+	// One dynamic experiment end-to-end through the registry at tiny scale.
+	out, err := RunExperiment("fig6a", ExperimentOptions{
+		Senders: []int{1, 4}, Iterations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 3 {
+		t.Fatalf("fig6a series = %d, want 3", len(out.Series))
+	}
+	for _, s := range out.Series {
+		if s.Len() != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, s.Len())
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Custom switch design-space exploration: the flexibility argument of the
+// paper (§2.4: "the simulator should support experimentation with radical
+// new switch designs"). Build the same single-rack incast scenario against
+// three switch architectures and a buffer sweep — no re-synthesis, just
+// runtime parameters, exactly as DIABLO's models were runtime-configurable.
+//
+//	go run ./examples/customswitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diablo"
+)
+
+func main() {
+	const senders = 12
+
+	fmt.Println("12-server synchronized read, one switch, three architectures:")
+	fmt.Printf("%-34s %-12s %s\n", "switch", "goodput", "timeouts")
+	archs := []struct {
+		name string
+		cfg  diablo.SwitchParams
+	}{
+		{"VOQ, 4KB/port pool (DIABLO)", diablo.Gigabit1GShallow("tor", 0)},
+		{"shared 512KB (commodity)", diablo.SharedBufferCommodity("tor", 0)},
+		{"drop-tail 4KB/output (ns2)", diablo.NS2DropTail("tor", 0)},
+	}
+	for _, a := range archs {
+		res := run(a.cfg, senders)
+		fmt.Printf("%-34s %8.1f Mbps %d\n", a.name, res.GoodputBps/1e6, res.Timeouts)
+	}
+
+	fmt.Println("\nBuffer sweep on the VOQ switch (per-port budget -> goodput):")
+	for _, kb := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := diablo.Gigabit1GShallow("tor", 0)
+		cfg.BufferPerPort = kb * 1024
+		cfg.SharedBuffer = 0 // recompute pool from the new per-port budget
+		res := run(cfg, senders)
+		fmt.Printf("  %3d KB/port  %8.1f Mbps  (%d timeouts)\n", kb, res.GoodputBps/1e6, res.Timeouts)
+	}
+
+	fmt.Println("\nCut-through vs store-and-forward (unloaded ping latency impact):")
+	for _, ct := range []bool{true, false} {
+		cfg := diablo.Gigabit1GShallow("tor", 0)
+		cfg.CutThrough = ct
+		res := run(cfg, 1)
+		fmt.Printf("  cut-through=%-5v 1-sender goodput %8.1f Mbps\n", ct, res.GoodputBps/1e6)
+	}
+}
+
+func run(sw diablo.SwitchParams, senders int) diablo.IncastResult {
+	cfg := diablo.DefaultIncast(senders)
+	cfg.Switch = sw
+	cfg.Iterations = 8
+	res, err := diablo.RunIncast(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,263 @@
+package diablo
+
+import (
+	"fmt"
+	"sort"
+
+	"diablo/internal/core"
+	"diablo/internal/fpga"
+	"diablo/internal/metrics"
+	"diablo/internal/survey"
+)
+
+// ExperimentOptions tune a registry run. Zero values select the reduced
+// bench-scale defaults documented in DESIGN.md; the paper's full parameters
+// are reachable by raising Requests/Iterations.
+type ExperimentOptions struct {
+	// Requests per memcached client (paper: 30,000).
+	Requests int
+	// Iterations per incast point (paper: 40).
+	Iterations int
+	// Senders for the incast sweeps (default 1..24).
+	Senders []int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// ExperimentOutput is the rendered result of one experiment.
+type ExperimentOutput struct {
+	Series []*metrics.Series
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// String renders everything.
+func (o *ExperimentOutput) String() string {
+	out := ""
+	for _, t := range o.Tables {
+		out += t.String() + "\n"
+	}
+	for _, s := range o.Series {
+		out += s.String() + "\n"
+	}
+	for _, n := range o.Notes {
+		out += "# " + n + "\n"
+	}
+	return out
+}
+
+// Experiment reproduces one of the paper's tables or figures.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ExperimentOptions) (*ExperimentOutput, error)
+}
+
+// Experiments returns the registry, sorted by ID.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"fig2", "Figure 2: testbed sizes in SIGCOMM 2008-2013", runFig2},
+		{"table1", "Table 1: workloads in surveyed papers", runTable1},
+		{"table2", "Table 2: Rack FPGA resource utilization", runTable2},
+		{"proto", "Section 3.4: prototype capacity and cost", runProto},
+		{"fig6a", "Figure 6a: TCP Incast goodput, 1 Gbps shallow-buffer switch", runFig6a},
+		{"fig6b", "Figure 6b: TCP Incast at 10 Gbps, pthread/epoll x 2/4 GHz", runFig6b},
+		{"fig8", "Figure 8: single-rack memcached validation", runFig8},
+		{"fig9", "Figure 9: 120-node latency CDF, memcached versions", runFig9},
+		{"fig10", "Figure 10: latency PMF by hop count at 2,000 nodes", runFig10},
+		{"fig11", "Figure 11: 95-100th pct latency CDF across scales", runFig11},
+		{"fig12", "Figure 12: +0/+50/+100 ns switch latency sensitivity", runFig12},
+		{"fig13", "Figure 13: TCP vs UDP across scales and fabrics", runFig13},
+		{"fig14", "Figure 14: Linux 2.6.39.3 vs 3.5.7 at 2,000 nodes", runFig14},
+		{"fig15", "Figure 15: memcached 1.4.15 vs 1.4.17 at scale", runFig15},
+		{"perf", "Section 5: simulator performance and scaling", runPerf},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// RunExperiment runs a registry entry by ID.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentOutput, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(opts)
+		}
+	}
+	return nil, fmt.Errorf("diablo: unknown experiment %q (try cmd/diablo list)", id)
+}
+
+func (o ExperimentOptions) incastSweep() core.IncastSweep {
+	s := core.DefaultIncastSweep()
+	if len(o.Senders) > 0 {
+		s.Senders = o.Senders
+	}
+	if o.Iterations > 0 {
+		s.Iterations = o.Iterations
+	}
+	if o.Seed != 0 {
+		s.Seed = o.Seed
+	}
+	return s
+}
+
+func (o ExperimentOptions) mcSweep() core.MemcachedSweep {
+	s := core.DefaultMemcachedSweep()
+	if o.Requests > 0 {
+		s.RequestsPerClient = o.Requests
+	}
+	if o.Seed != 0 {
+		s.Seed = o.Seed
+	}
+	return s
+}
+
+func runFig2(ExperimentOptions) (*ExperimentOutput, error) {
+	return &ExperimentOutput{
+		Series: []*metrics.Series{survey.Figure2()},
+		Notes: []string{
+			fmt.Sprintf("median servers = %d, median switches = %d", survey.MedianServers(), survey.MedianSwitches()),
+		},
+	}, nil
+}
+
+func runTable1(ExperimentOptions) (*ExperimentOutput, error) {
+	return &ExperimentOutput{Tables: []*metrics.Table{survey.Table1()}}, nil
+}
+
+func runTable2(ExperimentOptions) (*ExperimentOutput, error) {
+	out := &ExperimentOutput{Tables: []*metrics.Table{fpga.Table2()}}
+	total := fpga.RackFPGATotal()
+	u := total.Utilization(fpga.Virtex5LX155T)
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("component sum vs LX155T capacity: %.0f%% of the binding resource (paper: ~95%% of slices incl. routing)", u*100))
+	return out, nil
+}
+
+func runProto(ExperimentOptions) (*ExperimentOutput, error) {
+	p := fpga.PaperPrototype()
+	tb := &metrics.Table{
+		Title:   "Section 3.4: the 3,000-node DIABLO prototype",
+		Columns: []string{"quantity", "value", "paper"},
+	}
+	tb.AddRow("boards", fmt.Sprint(p.TotalBoards()), "9 BEE3")
+	tb.AddRow("simulated servers", fmt.Sprint(p.SimulatedServers()), "2,976")
+	tb.AddRow("simulated rack switches", fmt.Sprint(p.SimulatedRackSwitches()), "96")
+	tb.AddRow("total DRAM", fmt.Sprintf("%d GB", p.TotalDRAMGB()), "576 GB")
+	tb.AddRow("DRAM channels", fmt.Sprint(p.DRAMChannels()), "72")
+	tb.AddRow("board cost", fmt.Sprintf("$%d", p.CostUSD()), "~$140K")
+	c := fpga.PaperCostComparison()
+	tb.AddRow("capex vs real array", fmt.Sprintf("%.0fx cheaper", c.CapexRatio()), "$150K vs $36M")
+	scaled := fpga.ScaledSystem(fpga.BEE3(), 11_904)
+	tb.AddRow("scaled 11,904-server system", fmt.Sprintf("%d boards", scaled.TotalBoards()), "9 + 13 more (paper text; packing math gives 36)")
+	return &ExperimentOutput{Tables: []*metrics.Table{tb}}, nil
+}
+
+func runFig6a(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure6a(o.incastSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFig6b(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure6b(o.incastSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFig8(o ExperimentOptions) (*ExperimentOutput, error) {
+	opts := core.DefaultFigure8()
+	if o.Requests > 0 {
+		opts.RequestsPerClient = o.Requests
+	}
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	th, lat, err := core.Figure8(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: append(th, lat...)}, nil
+}
+
+func runFig9(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure9(o.mcSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFig10(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure10(o.mcSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFig11(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure11(o.mcSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFig12(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure12(o.mcSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFig13(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure13(o.mcSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFig14(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, results, err := core.Figure14(o.mcSweep())
+	if err != nil {
+		return nil, err
+	}
+	out := &ExperimentOutput{Series: series}
+	if len(results) == 2 {
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"mean latency: %v (2.6.39.3) vs %v (3.5.7); paper: 'almost halved'",
+			results[0].Overall.Mean(), results[1].Overall.Mean()))
+	}
+	return out, nil
+}
+
+func runFig15(o ExperimentOptions) (*ExperimentOutput, error) {
+	series, err := core.Figure15(o.mcSweep())
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Series: series}, nil
+}
+
+func runPerf(o ExperimentOptions) (*ExperimentOutput, error) {
+	requests := o.Requests
+	if requests == 0 {
+		requests = 60
+	}
+	points, err := core.Section5Performance(nil, requests)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExperimentOutput{Tables: []*metrics.Table{core.PerfTable(points)}}
+	seq, par := core.EngineComparison(8, 100_000)
+	out.Notes = append(out.Notes, fmt.Sprintf(
+		"engine comparison (8 partitions): sequential %.2fM ev/s, quantum-barrier parallel %.2fM ev/s (%.1fx)",
+		seq/1e6, par/1e6, par/seq))
+	return out, nil
+}

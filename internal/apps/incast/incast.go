@@ -1,0 +1,271 @@
+// Package incast implements the paper's TCP Incast test program (§4.1): a
+// client requests a data block striped across N storage servers in lockstep
+// iterations — the classic many-to-one synchronized-read pattern of scale-out
+// storage [53, 60]. Goodput collapses when concurrent server responses
+// overrun the ToR switch buffers and some flows stall in RTO.
+//
+// Two client implementations are provided, matching the paper's comparison:
+// a pthread-style client with one blocking-socket thread per server, and an
+// epoll client multiplexing every connection on one thread.
+package incast
+
+import (
+	"diablo/internal/kernel"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+// request is the application message a client sends to a server.
+type request struct {
+	SRU int // bytes the server should return
+}
+
+// response marks the end of a server's data unit.
+type response struct{}
+
+// ServerParams configures a storage server.
+type ServerParams struct {
+	Port packet.Port
+	// PerRequestInstr is the server-side request handling cost (lookup,
+	// buffer management) before data streams out.
+	PerRequestInstr int64
+}
+
+// DefaultServer returns the standard server setup on port 5001.
+func DefaultServer() ServerParams {
+	return ServerParams{Port: 5001, PerRequestInstr: 15_000}
+}
+
+// InstallServer spawns the storage server threads on m: an acceptor plus one
+// handler thread per connection (the storage servers are not the bottleneck
+// in incast; threading model matters only on the client).
+func InstallServer(m *kernel.Machine, p ServerParams) {
+	m.Spawn("incast-server", func(t *kernel.Thread) {
+		lis, err := t.Listen(p.Port, 64)
+		if err != nil {
+			return
+		}
+		for {
+			sock, err := lis.Accept(t, true)
+			if err != nil {
+				return
+			}
+			m.Spawn("incast-handler", func(h *kernel.Thread) {
+				serveConn(h, sock, p)
+			})
+		}
+	})
+}
+
+func serveConn(t *kernel.Thread, sock *kernel.TCPSocket, p ServerParams) {
+	for {
+		n, msgs, err := sock.Recv(t, 1<<20)
+		if err != nil {
+			return
+		}
+		if n == 0 && len(msgs) == 0 {
+			sock.Close(t)
+			return
+		}
+		for _, msg := range msgs {
+			req, ok := msg.(request)
+			if !ok {
+				continue
+			}
+			t.Compute(p.PerRequestInstr)
+			if err := sock.Send(t, req.SRU, response{}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// ClientParams configures the requesting client.
+type ClientParams struct {
+	// Servers lists the storage servers to stripe across.
+	Servers []packet.Addr
+	// BlockBytes is the data each server returns per iteration (the paper's
+	// "typical request block size of 256 KB"; as in the classic incast
+	// studies the aggregate grows with the server count).
+	BlockBytes int
+	// Iterations is the number of synchronized reads (the paper runs 40).
+	Iterations int
+	// Epoll selects the epoll client; false selects the pthread client.
+	Epoll bool
+	// RequestBytes is the size of the per-server request message.
+	RequestBytes int
+	// PerIterInstr is the client-side block processing cost per iteration.
+	PerIterInstr int64
+}
+
+// DefaultClient returns the paper's §4.1 client parameters.
+func DefaultClient(servers []packet.Addr) ClientParams {
+	return ClientParams{
+		Servers:      servers,
+		BlockBytes:   256 * 1024,
+		Iterations:   40,
+		RequestBytes: 64,
+		PerIterInstr: 50_000,
+	}
+}
+
+// Result reports a finished run.
+type Result struct {
+	Bytes      uint64       // application payload received
+	Elapsed    sim.Duration // first request to last block completion
+	GoodputBps float64
+	IterTimes  []sim.Duration
+
+	Retransmits, Timeouts, FastRetransmits uint64
+}
+
+// InstallClient spawns the client on m; done is invoked (in simulation
+// context) with the result when all iterations complete.
+func InstallClient(m *kernel.Machine, p ClientParams, done func(Result)) {
+	if p.Epoll {
+		installEpollClient(m, p, done)
+	} else {
+		installPthreadClient(m, p, done)
+	}
+}
+
+// sru returns the per-server data unit.
+func (p ClientParams) sru() int {
+	if p.BlockBytes <= 0 {
+		return 1
+	}
+	return p.BlockBytes
+}
+
+func finish(p ClientParams, socks []*kernel.TCPSocket, start sim.Time, now sim.Time, iters []sim.Duration, done func(Result)) {
+	res := Result{
+		Bytes:     uint64(p.sru()) * uint64(len(p.Servers)) * uint64(p.Iterations),
+		Elapsed:   now.Sub(start),
+		IterTimes: iters,
+	}
+	if res.Elapsed > 0 {
+		res.GoodputBps = float64(res.Bytes) * 8 / res.Elapsed.Seconds()
+	}
+	for _, s := range socks {
+		st := s.Conn().Stats
+		res.Retransmits += st.Retransmits
+		res.Timeouts += st.Timeouts
+		res.FastRetransmits += st.FastRetransmits
+	}
+	done(res)
+}
+
+// --- pthread client -----------------------------------------------------------
+
+func installPthreadClient(m *kernel.Machine, p ClientParams, done func(Result)) {
+	m.Spawn("incast-client", func(t *kernel.Thread) {
+		n := len(p.Servers)
+		socks := make([]*kernel.TCPSocket, n)
+		for i, addr := range p.Servers {
+			s, err := t.Connect(addr)
+			if err != nil {
+				return
+			}
+			socks[i] = s
+		}
+		barrier := kernel.NewBarrier(m, n+1)
+		sru := p.sru()
+		for i, s := range socks {
+			i, s := i, s
+			m.Spawn("incast-worker", func(w *kernel.Thread) {
+				_ = i
+				for iter := 0; iter < p.Iterations; iter++ {
+					barrier.Wait(w) // start of iteration
+					if err := s.Send(w, p.RequestBytes, request{SRU: sru}); err != nil {
+						return
+					}
+					got := 0
+					for got < sru {
+						rn, _, err := s.Recv(w, 1<<20)
+						if err != nil {
+							return
+						}
+						if rn == 0 {
+							return // EOF
+						}
+						got += rn
+					}
+					barrier.Wait(w) // end of iteration
+				}
+			})
+		}
+		start := t.Now()
+		iters := make([]sim.Duration, 0, p.Iterations)
+		for iter := 0; iter < p.Iterations; iter++ {
+			iterStart := t.Now()
+			barrier.Wait(t) // release workers
+			barrier.Wait(t) // all workers done
+			t.Compute(p.PerIterInstr)
+			iters = append(iters, t.Now().Sub(iterStart))
+		}
+		finish(p, socks, start, t.Now(), iters, done)
+		for _, s := range socks {
+			s.Close(t)
+		}
+	})
+}
+
+// --- epoll client ---------------------------------------------------------------
+
+func installEpollClient(m *kernel.Machine, p ClientParams, done func(Result)) {
+	m.Spawn("incast-client-epoll", func(t *kernel.Thread) {
+		n := len(p.Servers)
+		socks := make([]*kernel.TCPSocket, n)
+		got := make([]int, n)
+		ep := t.EpollCreate()
+		for i, addr := range p.Servers {
+			s, err := t.Connect(addr)
+			if err != nil {
+				return
+			}
+			socks[i] = s
+			ep.Add(t, s, kernel.EpollIn, i)
+		}
+		sru := p.sru()
+		start := t.Now()
+		iters := make([]sim.Duration, 0, p.Iterations)
+		for iter := 0; iter < p.Iterations; iter++ {
+			iterStart := t.Now()
+			for i := range got {
+				got[i] = 0
+			}
+			for _, s := range socks {
+				if err := s.Send(t, p.RequestBytes, request{SRU: sru}); err != nil {
+					return
+				}
+			}
+			remaining := n
+			for remaining > 0 {
+				evs := ep.Wait(t, 64, kernel.WaitForever)
+				for _, ev := range evs {
+					i := ev.Data.(int)
+					if got[i] >= sru {
+						continue
+					}
+					for {
+						rn, _, err := socks[i].TryRecv(t, 1<<20)
+						if err != nil || rn == 0 {
+							break
+						}
+						got[i] += rn
+						if got[i] >= sru {
+							remaining--
+							break
+						}
+					}
+				}
+			}
+			t.Compute(p.PerIterInstr)
+			iters = append(iters, t.Now().Sub(iterStart))
+		}
+		finish(p, socks, start, t.Now(), iters, done)
+		for _, s := range socks {
+			s.Close(t)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package memcache
+
+import (
+	"testing"
+
+	"diablo/internal/kernel"
+	"diablo/internal/link"
+	"diablo/internal/nic"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+	"diablo/internal/topology"
+	"diablo/internal/workload"
+)
+
+func TestVersions(t *testing.T) {
+	old, new_ := V1415(), V1417()
+	if old.Accept4 || !new_.Accept4 {
+		t.Fatal("accept4 support inverted")
+	}
+	if new_.BaseInstr >= old.BaseInstr {
+		t.Fatal("1.4.17 should be marginally leaner")
+	}
+	for _, name := range []string{"1.4.15", "1.4.17"} {
+		if v, ok := VersionByName(name); !ok || v.Name != name {
+			t.Fatalf("VersionByName(%q) failed", name)
+		}
+	}
+	if _, ok := VersionByName("2.0"); ok {
+		t.Fatal("unknown version resolved")
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get(5); ok {
+		t.Fatal("empty store hit")
+	}
+	s.Set(5, 123)
+	if n, ok := s.Get(5); !ok || n != 123 {
+		t.Fatalf("get = %d,%v", n, ok)
+	}
+	s.Set(5, 456)
+	if n, _ := s.Get(5); n != 456 {
+		t.Fatal("overwrite failed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestPrewarmCoversKeyspace(t *testing.T) {
+	p := workload.ETC()
+	p.Keys = 500
+	s := Prewarm(p)
+	if s.Len() != 500 {
+		t.Fatalf("prewarmed %d keys, want 500", s.Len())
+	}
+	for k := uint64(0); k < 500; k++ {
+		n, ok := s.Get(k)
+		if !ok || n < 1 || n > p.MaxValue {
+			t.Fatalf("key %d: size %d ok=%v", k, n, ok)
+		}
+	}
+}
+
+func TestRequestWireBytes(t *testing.T) {
+	get := Request{Op: workload.Get}
+	if got := get.wireBytes(30); got != requestHeader+30 {
+		t.Fatalf("get wire = %d", got)
+	}
+	set := Request{Op: workload.Set, ValueBytes: 1000}
+	if got := set.wireBytes(30); got != requestHeader+30+1000 {
+		t.Fatalf("set wire = %d", got)
+	}
+}
+
+// rig wires a server machine and a client machine back-to-back.
+type rig struct {
+	eng            *sim.Engine
+	server, client *kernel.Machine
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	topo, err := topology.SingleRack(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kernel.DefaultConfig()
+	mk := func(node packet.NodeID) (*kernel.Machine, *link.Link) {
+		wire := link.New(eng, nil, 1_000_000_000, 500*sim.Nanosecond)
+		dev, err := nic.New(eng, cfg.NIC, wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := kernel.New(eng, node, cfg, topo, dev, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, wire
+	}
+	srv, wireS := mk(0)
+	cli, wireC := mk(1)
+	wireS.SetDst(cli.NIC())
+	wireC.SetDst(srv.NIC())
+	r := &rig{eng: eng, server: srv, client: cli}
+	t.Cleanup(func() { srv.Shutdown(); cli.Shutdown() })
+	return r
+}
+
+func runClient(t *testing.T, r *rig, proto Proto, requests, churn int, version Version) ([]Sample, *Server) {
+	t.Helper()
+	wl := workload.ETC()
+	wl.Keys = 200
+	wl.ThinkTime = 50 * sim.Microsecond
+	store := Prewarm(wl)
+	sp := DefaultServer(version, store)
+	sp.Workers = 2
+	srv := InstallServer(r.server, sp)
+
+	var samples []Sample
+	done := false
+	cp := DefaultClient([]packet.Addr{{Node: 0, Port: sp.Port}}, requests)
+	cp.Proto = proto
+	cp.Workload = wl
+	cp.ChurnEvery = churn
+	cp.StartSpread = sim.Millisecond
+	cp.OnSample = func(s Sample) { samples = append(samples, s) }
+	cp.OnDone = func() { done = true; r.eng.Halt() }
+	InstallClient(r.client, cp)
+
+	r.eng.RunUntil(sim.Time(30 * sim.Second))
+	if !done {
+		t.Fatal("client never finished")
+	}
+	return samples, srv
+}
+
+func TestUDPServerClient(t *testing.T) {
+	r := newRig(t)
+	samples, srv := runClient(t, r, UDP, 100, 0, V1417())
+	if len(samples) != 100 {
+		t.Fatalf("samples = %d, want 100", len(samples))
+	}
+	if srv.Stats.UDPRequests != 100 {
+		t.Fatalf("server saw %d UDP requests", srv.Stats.UDPRequests)
+	}
+	if srv.Stats.Misses != 0 {
+		t.Fatalf("prewarmed store missed %d times", srv.Stats.Misses)
+	}
+	// GET:SET ratio carried through.
+	if srv.Stats.Gets < srv.Stats.Sets*10 {
+		t.Fatalf("op mix wrong: %d gets, %d sets", srv.Stats.Gets, srv.Stats.Sets)
+	}
+	for _, s := range samples {
+		if s.Latency <= 0 || s.Latency > 10*sim.Millisecond {
+			t.Fatalf("implausible latency %v", s.Latency)
+		}
+	}
+}
+
+func TestTCPServerClient(t *testing.T) {
+	r := newRig(t)
+	samples, srv := runClient(t, r, TCP, 80, 0, V1417())
+	if len(samples) != 80 {
+		t.Fatalf("samples = %d, want 80", len(samples))
+	}
+	if srv.Stats.TCPRequests != 80 {
+		t.Fatalf("server saw %d TCP requests", srv.Stats.TCPRequests)
+	}
+	if srv.Stats.Accepts != 1 {
+		t.Fatalf("persistent connection accepted %d times", srv.Stats.Accepts)
+	}
+}
+
+func TestTCPChurnDrivesAccepts(t *testing.T) {
+	r := newRig(t)
+	_, srv := runClient(t, r, TCP, 80, 10, V1417())
+	// 80 requests, reconnect every 10: 8 connections.
+	if srv.Stats.Accepts != 8 {
+		t.Fatalf("accepts = %d, want 8", srv.Stats.Accepts)
+	}
+}
+
+func TestOldVersionCostsMoreSyscallsOnAccept(t *testing.T) {
+	// The accept4 difference: same churny workload, the 1.4.15 server
+	// executes more syscalls overall.
+	syscalls := func(v Version) (uint64, uint64) {
+		r := newRig(t)
+		_, srv := runClient(t, r, TCP, 60, 5, v)
+		return r.server.Stats.Syscalls, srv.Stats.Accepts
+	}
+	old, oldAccepts := syscalls(V1415())
+	newer, newAccepts := syscalls(V1417())
+	if oldAccepts != newAccepts {
+		t.Fatalf("accept counts differ: %d vs %d", oldAccepts, newAccepts)
+	}
+	if old <= newer {
+		t.Fatalf("1.4.15 syscalls (%d) should exceed 1.4.17 (%d)", old, newer)
+	}
+	// One extra syscall per accepted connection (a small slack absorbs
+	// interleaving differences in epoll polling between the two runs).
+	delta := old - newer
+	if delta < oldAccepts || delta > oldAccepts+4 {
+		t.Fatalf("syscall delta = %d, want ~%d (one per accept)", delta, oldAccepts)
+	}
+}
+
+func TestSetsVisibleToGets(t *testing.T) {
+	// A SET followed by a GET of the same key returns the new size: the
+	// store is live, not just static.
+	r := newRig(t)
+	wl := workload.ETC()
+	wl.Keys = 10
+	sp := DefaultServer(V1417(), NewStore()) // empty store: all gets miss
+	srv := InstallServer(r.server, sp)
+	var missResp, hitResp Response
+	r.client.Spawn("probe", func(th *kernel.Thread) {
+		sock, _ := th.UDPSocket(0)
+		dst := packet.Addr{Node: 0, Port: sp.Port}
+		// Miss.
+		_ = sock.SendTo(th, dst, 60, Request{Op: workload.Get, Key: 3, Seq: 1})
+		_, _, p1, _ := sock.RecvFrom(th)
+		missResp = p1.(Response)
+		// Set.
+		_ = sock.SendTo(th, dst, 500, Request{Op: workload.Set, Key: 3, ValueBytes: 400, Seq: 2})
+		_, _, _, _ = sock.RecvFrom(th)
+		// Hit.
+		_ = sock.SendTo(th, dst, 60, Request{Op: workload.Get, Key: 3, Seq: 3})
+		_, _, p3, _ := sock.RecvFrom(th)
+		hitResp = p3.(Response)
+		r.eng.Halt()
+	})
+	r.eng.RunUntil(sim.Time(5 * sim.Second))
+	if missResp.Hit {
+		t.Fatal("get before set hit")
+	}
+	if !hitResp.Hit || hitResp.ValueBytes != 400 {
+		t.Fatalf("get after set: %+v", hitResp)
+	}
+	if srv.Stats.Misses != 1 {
+		t.Fatalf("misses = %d", srv.Stats.Misses)
+	}
+}

@@ -1,0 +1,234 @@
+// Package core is DIABLO's primary contribution rendered in software: the
+// cluster simulator that composes the abstract performance models — fixed-CPI
+// servers running a simulated kernel, NIC models, and the switch hierarchy —
+// into a full WSC array (paper §3), plus the experiment harness reproducing
+// the paper's case studies (§4).
+package core
+
+import (
+	"fmt"
+
+	"diablo/internal/kernel"
+	"diablo/internal/link"
+	"diablo/internal/nic"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+	"diablo/internal/topology"
+	"diablo/internal/vswitch"
+)
+
+// Config describes a complete simulated array.
+type Config struct {
+	// Topology sizes the Clos array.
+	Topology topology.Params
+
+	// Server configures every machine (CPU, kernel profile, NIC, TCP).
+	Server kernel.Config
+
+	// ServerFor optionally overrides the configuration per node (e.g. a
+	// mixed-speed validation cluster). It receives the default and the node
+	// id and returns the config to use.
+	ServerFor func(node packet.NodeID, def kernel.Config) kernel.Config
+
+	// ToR, Array and DC are the switch models per level. Ports counts are
+	// filled by the builder from the topology; the other parameters (rate,
+	// latency, buffering, architecture) are taken as given.
+	ToR, Array, DC vswitch.Params
+
+	// CableProp is the per-hop propagation delay (cable length).
+	CableProp sim.Duration
+
+	// Daemon configures per-server background load (zero disables).
+	Daemon kernel.DaemonConfig
+
+	// Seed is the master seed; every machine derives its own streams.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's baseline: 1 Gbps interconnect with 1 µs
+// port-to-port switches (§4.1/4.2), 4 GHz fixed-CPI servers, Linux 2.6.39.
+// Aggregation levels differ only in buffering (paper §3.3: switch layers
+// "differ only in their link latency, bandwidth, and buffer configuration
+// parameters"): array and datacenter switches carry the deep buffers of
+// their hardware class, consistent with §4.2's observation of no switch
+// buffer overruns under the memcached load.
+func DefaultConfig(topo topology.Params) Config {
+	array := vswitch.Gigabit1GShallow("array", 0)
+	array.BufferPerPort = 64 * 1024
+	dc := vswitch.Gigabit1GShallow("dc", 0)
+	dc.BufferPerPort = 256 * 1024
+	return Config{
+		Topology:  topo,
+		Server:    kernel.DefaultConfig(),
+		ToR:       vswitch.Gigabit1GShallow("tor", 0),
+		Array:     array,
+		DC:        dc,
+		CableProp: 500 * sim.Nanosecond,
+		Seed:      1,
+	}
+}
+
+// Use10G switches every level to the low-latency 10 Gbps fabric (10x
+// bandwidth, 10x lower latency, §4.2 "Impact of network hardware").
+func (c *Config) Use10G() {
+	for _, p := range []*vswitch.Params{&c.ToR, &c.Array, &c.DC} {
+		p.LinkRate = 10_000_000_000
+		p.PortLatency = 100 * sim.Nanosecond
+	}
+}
+
+// Cluster is a fully wired simulated array.
+type Cluster struct {
+	Eng      *sim.Engine
+	Topo     *topology.Topology
+	Machines []*kernel.Machine
+	Tors     []*vswitch.Switch
+	Arrays   []*vswitch.Switch
+	DC       *vswitch.Switch
+
+	cfg Config
+}
+
+// New builds and wires a cluster.
+func New(cfg Config) (*Cluster, error) {
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Server.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{Eng: eng, Topo: topo, cfg: cfg}
+
+	tp := topo.Params()
+	multiRack := topo.MultiRack()
+	multiArray := topo.MultiArray()
+
+	// Build switches.
+	torPorts := tp.ServersPerRack
+	if multiRack {
+		torPorts++
+	}
+	for r := 0; r < topo.Racks(); r++ {
+		params := cfg.ToR
+		params.Name = fmt.Sprintf("tor-%d", r)
+		params.Ports = torPorts
+		sw, err := vswitch.New(eng, params)
+		if err != nil {
+			return nil, err
+		}
+		c.Tors = append(c.Tors, sw)
+	}
+	if multiRack {
+		arrayPorts := tp.RacksPerArray
+		if multiArray {
+			arrayPorts++
+		}
+		for a := 0; a < topo.Arrays(); a++ {
+			params := cfg.Array
+			params.Name = fmt.Sprintf("array-%d", a)
+			params.Ports = arrayPorts
+			sw, err := vswitch.New(eng, params)
+			if err != nil {
+				return nil, err
+			}
+			c.Arrays = append(c.Arrays, sw)
+		}
+	}
+	if multiArray {
+		params := cfg.DC
+		params.Name = "dc"
+		params.Ports = tp.Arrays
+		sw, err := vswitch.New(eng, params)
+		if err != nil {
+			return nil, err
+		}
+		c.DC = sw
+	}
+
+	// Build servers and edge links.
+	for n := 0; n < topo.Servers(); n++ {
+		node := packet.NodeID(n)
+		rack := topo.RackOf(node)
+		idx := topo.IndexInRack(node)
+		tor := c.Tors[rack]
+
+		serverCfg := cfg.Server
+		if cfg.ServerFor != nil {
+			serverCfg = cfg.ServerFor(node, serverCfg)
+		}
+
+		up := link.New(eng, tor.Input(idx), cfg.ToR.LinkRate, cfg.CableProp)
+		dev, err := nic.New(eng, serverCfg.NIC, up)
+		if err != nil {
+			return nil, err
+		}
+		m, err := kernel.New(eng, node, serverCfg, topo, dev, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tor.AttachOutput(idx, link.New(eng, dev, cfg.ToR.LinkRate, cfg.CableProp))
+		c.Machines = append(c.Machines, m)
+
+		if cfg.Daemon.Period > 0 && cfg.Daemon.BurstInstr > 0 {
+			m.StartDaemon(cfg.Daemon)
+		}
+	}
+
+	// Wire ToR <-> array uplinks.
+	if multiRack {
+		upPort := topo.TorUplinkPort()
+		for r := 0; r < topo.Racks(); r++ {
+			a := topo.ArrayOf(r)
+			localIdx := topo.RackInArray(r)
+			arr := c.Arrays[a]
+			c.Tors[r].AttachOutput(upPort, link.New(eng, arr.Input(localIdx), cfg.Array.LinkRate, cfg.CableProp))
+			arr.AttachOutput(localIdx, link.New(eng, c.Tors[r].Input(upPort), cfg.Array.LinkRate, cfg.CableProp))
+		}
+	}
+	// Wire array <-> DC uplinks.
+	if multiArray {
+		upPort := topo.ArrayUplinkPort()
+		for a := 0; a < topo.Arrays(); a++ {
+			c.Arrays[a].AttachOutput(upPort, link.New(eng, c.DC.Input(a), cfg.DC.LinkRate, cfg.CableProp))
+			c.DC.AttachOutput(a, link.New(eng, c.Arrays[a].Input(upPort), cfg.DC.LinkRate, cfg.CableProp))
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Machine returns the machine for a node.
+func (c *Cluster) Machine(n packet.NodeID) *kernel.Machine { return c.Machines[n] }
+
+// RunUntil advances the simulation to the deadline.
+func (c *Cluster) RunUntil(d sim.Duration) { c.Eng.RunUntil(sim.Time(d)) }
+
+// Run advances the simulation until the event queue drains or Halt.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// Shutdown kills all application threads, releasing their goroutines. Call
+// once per cluster when the experiment is done; the engine must be stopped.
+func (c *Cluster) Shutdown() {
+	for _, m := range c.Machines {
+		m.Shutdown()
+	}
+}
+
+// SwitchDrops sums dropped packets across all switches.
+func (c *Cluster) SwitchDrops() uint64 {
+	var total uint64
+	for _, sw := range c.Tors {
+		total += sw.Stats.Dropped.Packets
+	}
+	for _, sw := range c.Arrays {
+		total += sw.Stats.Dropped.Packets
+	}
+	if c.DC != nil {
+		total += c.DC.Stats.Dropped.Packets
+	}
+	return total
+}

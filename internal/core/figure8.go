@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"diablo/internal/apps/memcache"
+	"diablo/internal/kernel"
+	"diablo/internal/metrics"
+	"diablo/internal/sim"
+	"diablo/internal/topology"
+	"diablo/internal/vswitch"
+)
+
+// Figure8Options parameterizes the single-rack memcached validation
+// (§4.2 "Validating memcached on real clusters"): a 16-node testbed with two
+// memcached servers, sweeping the client count and measuring server
+// throughput and mean client latency.
+type Figure8Options struct {
+	// Clients lists the x-axis points (paper: up to 14 clients).
+	Clients []int
+	// RequestsPerClient per point (paper: 30K "till completion").
+	RequestsPerClient int
+	// Workers is the memcached worker count (paper compares 4 and 8).
+	Workers int
+	// UseUDP selects the transport.
+	UseUDP bool
+	Seed   uint64
+}
+
+// DefaultFigure8 returns the paper's sweep at reduced request counts.
+func DefaultFigure8() Figure8Options {
+	return Figure8Options{
+		Clients:           []int{2, 4, 6, 8, 10, 12, 14},
+		RequestsPerClient: 600,
+		Workers:           4,
+		Seed:              1,
+	}
+}
+
+// Figure8 returns four series: server throughput and mean client latency
+// versus client count, for the physical-testbed proxy (3 GHz, shared-buffer
+// switch, heavy background) and for DIABLO. The load test is closed-loop
+// (no think time), as the paper's "send 30,000 requests till completion".
+func Figure8(opts Figure8Options) (throughput, latency []*metrics.Series, err error) {
+	if len(opts.Clients) == 0 {
+		opts.Clients = DefaultFigure8().Clients
+	}
+	if opts.RequestsPerClient <= 0 {
+		opts.RequestsPerClient = 600
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	for _, physical := range []bool{true, false} {
+		name := "DIABLO"
+		if physical {
+			name = "Physical proxy"
+		}
+		th := &metrics.Series{Name: name, XLabel: "clients", YLabel: "requests_per_sec_per_server"}
+		lat := &metrics.Series{Name: name, XLabel: "clients", YLabel: "mean_latency_us"}
+		for _, nClients := range opts.Clients {
+			res, e := runFigure8Point(opts, physical, nClients)
+			if e != nil {
+				return nil, nil, fmt.Errorf("figure 8 %s clients=%d: %w", name, nClients, e)
+			}
+			th.Append(float64(nClients), res.ThroughputPerServer())
+			lat.Append(float64(nClients), res.Overall.Mean().Microseconds())
+		}
+		throughput = append(throughput, th)
+		latency = append(latency, lat)
+	}
+	return throughput, latency, nil
+}
+
+func runFigure8Point(opts Figure8Options, physical bool, nClients int) (*MemcachedResult, error) {
+	cfg := DefaultMemcached()
+	cfg.Arrays = 1
+	cfg.RequestsPerClient = opts.RequestsPerClient
+	cfg.Workers = opts.Workers
+	cfg.MaxClients = nClients
+	cfg.Seed = opts.Seed
+	cfg.StartSpread = sim.Millisecond
+	cfg.Warmup = 20
+	if opts.UseUDP {
+		cfg.Proto = memcache.UDP
+	} else {
+		cfg.Proto = memcache.TCP
+	}
+	// Closed-loop load test: no think time.
+	wl := cfg.Workload
+	wl.ThinkTime = 0
+	cfg.Workload = wl
+	if physical {
+		cfg.Daemon = kernel.HeavyDaemon()
+	}
+	// 16-node rack: 2 servers + 14 possible clients.
+	topoParams := topology.Params{ServersPerRack: 16, RacksPerArray: 1, Arrays: 1}
+	return runMemcachedWithTopology(cfg, topoParams, func(cc *Config) {
+		if physical {
+			cc.Server.CPU.FreqHz = 3_000_000_000
+			cc.ToR = vswitch.SharedBufferCommodity("tor", 0)
+		}
+	})
+}

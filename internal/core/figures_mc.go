@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"diablo/internal/apps/memcache"
+	"diablo/internal/kernel"
+	"diablo/internal/metrics"
+	"diablo/internal/sim"
+	"diablo/internal/topology"
+	"diablo/internal/vswitch"
+)
+
+// MemcachedSweep holds the common knobs of the §4.2 figure reproductions.
+type MemcachedSweep struct {
+	// RequestsPerClient per configuration (paper: 30K; reduced by default —
+	// see DESIGN.md).
+	RequestsPerClient int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultMemcachedSweep returns bench-friendly defaults.
+func DefaultMemcachedSweep() MemcachedSweep {
+	return MemcachedSweep{RequestsPerClient: 150, Seed: 1}
+}
+
+func (s *MemcachedSweep) normalize() {
+	if s.RequestsPerClient <= 0 {
+		s.RequestsPerClient = 150
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+func (s MemcachedSweep) base() MemcachedConfig {
+	cfg := DefaultMemcached()
+	cfg.RequestsPerClient = s.RequestsPerClient
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// Figure9 reproduces the 120-node validation: client latency CDF for
+// memcached 1.4.15 vs 1.4.17, on the physical-cluster proxy and on DIABLO.
+// The proxy differs as the paper describes its real testbed: 3 GHz CPUs, a
+// commodity shared-buffer fabric, and heavier background services (which is
+// why its tail is fatter than DIABLO's — "the simulated 120-node setup is a
+// more ideal environment with less software services running in the
+// background").
+func Figure9(sweep MemcachedSweep) ([]*metrics.Series, error) {
+	sweep.normalize()
+	var out []*metrics.Series
+	for _, system := range []string{"Physical", "DIABLO"} {
+		for _, ver := range []memcache.Version{memcache.V1417(), memcache.V1415()} {
+			res, err := runMemcached120(sweep, system == "Physical", ver)
+			if err != nil {
+				return nil, fmt.Errorf("figure 9 %s %s: %w", system, ver.Name, err)
+			}
+			s := metrics.FromCDF(fmt.Sprintf("[%s] Memcached %s", system, ver.Name), res.Overall.TailCDF(0.98))
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// runMemcached120 runs the 8-rack, 120-node configuration of Figure 9
+// (15 nodes per rack: the paper's physical testbed was an 8-rack 120-node
+// cluster; we keep 2 servers per rack => 16 servers, 104 clients).
+func runMemcached120(sweep MemcachedSweep, physical bool, ver memcache.Version) (*MemcachedResult, error) {
+	cfg := sweep.base()
+	cfg.Version = ver
+	cfg.Proto = memcache.TCP // the validation used memcached over TCP
+	cfg.ChurnEvery = 40
+	// 120-node shape: approximate with 4 racks of 31 (124 nodes), 1 array.
+	cfg.Arrays = 1
+	cfg.Deadline = 0
+	if physical {
+		cfg.Daemon = kernel.HeavyDaemon()
+	}
+	topoOverride := topology.Params{ServersPerRack: 31, RacksPerArray: 4, Arrays: 1}
+	return runMemcachedWithTopology(cfg, topoOverride, func(cc *Config) {
+		if physical {
+			// 3 GHz Xeons behind shared-buffer commodity switches.
+			cc.Server.CPU.FreqHz = 3_000_000_000
+			cc.ToR = vswitch.SharedBufferCommodity("tor", 0)
+			cc.Array = vswitch.SharedBufferCommodity("array", 0)
+			cc.Array.SharedBuffer = 2 << 20
+		}
+	})
+}
+
+// Figure10 reproduces the PMF of client request latency at the 2,000-node
+// scale over UDP, classified by switch hops, for the 1 Gbps and 10 Gbps
+// interconnects.
+func Figure10(sweep MemcachedSweep) ([]*metrics.Series, error) {
+	sweep.normalize()
+	var out []*metrics.Series
+	for _, tenG := range []bool{false, true} {
+		cfg := sweep.base()
+		cfg.Proto = memcache.UDP
+		cfg.Use10G = tenG
+		res, err := RunMemcached(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure 10 (10G=%v): %w", tenG, err)
+		}
+		label := "1Gbps"
+		if tenG {
+			label = "10Gbps"
+		}
+		out = append(out,
+			metrics.FromPMF(label+" Local", res.ByHop[topology.Local].PMF(10)),
+			metrics.FromPMF(label+" 1-Hop", res.ByHop[topology.OneHop].PMF(10)),
+			metrics.FromPMF(label+" 2-Hop", res.ByHop[topology.TwoHop].PMF(10)),
+			metrics.FromPMF(label+" Overall", res.Overall.PMF(10)),
+		)
+	}
+	return out, nil
+}
+
+// Figure11 reproduces the 95th-100th percentile latency CDF at the three
+// scales on the 1 Gbps interconnect over UDP: the tail worsens by an order
+// of magnitude from 500 to 2,000 nodes.
+func Figure11(sweep MemcachedSweep) ([]*metrics.Series, error) {
+	sweep.normalize()
+	var out []*metrics.Series
+	for _, arrays := range []int{1, 2, 4} {
+		cfg := sweep.base()
+		cfg.Arrays = arrays
+		cfg.Proto = memcache.UDP
+		res, err := RunMemcached(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure 11 scale %d: %w", Nodes(arrays), err)
+		}
+		out = append(out, metrics.FromCDF(fmt.Sprintf("%d-node", Nodes(arrays)), res.Overall.TailCDF(0.95)))
+	}
+	return out, nil
+}
+
+// Figure12 reproduces the switch-latency sensitivity study: client latency
+// tail at 2,000 nodes / 10 Gbps with +0, +50 and +100 ns of port-to-port
+// latency at every switch level. "The extra switch latency does not affect
+// the shape of the tail curves."
+func Figure12(sweep MemcachedSweep) ([]*metrics.Series, error) {
+	sweep.normalize()
+	var out []*metrics.Series
+	for _, extra := range []sim.Duration{0, 50 * sim.Nanosecond, 100 * sim.Nanosecond} {
+		cfg := sweep.base()
+		cfg.Proto = memcache.UDP
+		cfg.Use10G = true
+		cfg.ExtraSwitchLatency = extra
+		res, err := RunMemcached(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure 12 +%v: %w", extra, err)
+		}
+		out = append(out, metrics.FromCDF(fmt.Sprintf("+%dns", int64(extra/sim.Nanosecond)), res.Overall.TailCDF(0.96)))
+	}
+	return out, nil
+}
+
+// Figure13 reproduces the TCP vs UDP comparison across {500,1000,2000} nodes
+// x {1,10} Gbps — the experiment whose 500-node conclusion reverses at
+// 2,000 nodes.
+func Figure13(sweep MemcachedSweep) ([]*metrics.Series, error) {
+	sweep.normalize()
+	var out []*metrics.Series
+	for _, tenG := range []bool{false, true} {
+		for _, arrays := range []int{1, 2, 4} {
+			for _, proto := range []memcache.Proto{memcache.UDP, memcache.TCP} {
+				cfg := sweep.base()
+				cfg.Arrays = arrays
+				cfg.Proto = proto
+				cfg.Use10G = tenG
+				res, err := RunMemcached(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("figure 13 %v %d-node: %w", proto, Nodes(arrays), err)
+				}
+				rate := "1Gbps"
+				if tenG {
+					rate = "10Gbps"
+				}
+				name := fmt.Sprintf("%s %d-node %v", rate, Nodes(arrays), proto)
+				out = append(out, metrics.FromCDF(name, res.Overall.TailCDF(0.97)))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Figure14 reproduces the kernel comparison at 2,000 nodes / 10 Gbps:
+// Linux 2.6.39.3 vs 3.5.7 ("the average request latency is almost halved").
+func Figure14(sweep MemcachedSweep) ([]*metrics.Series, []*MemcachedResult, error) {
+	sweep.normalize()
+	var out []*metrics.Series
+	var results []*MemcachedResult
+	for _, prof := range []kernel.Profile{kernel.Linux2639(), kernel.Linux357()} {
+		cfg := sweep.base()
+		cfg.Proto = memcache.UDP
+		cfg.Use10G = true
+		cfg.Profile = prof
+		res, err := RunMemcached(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figure 14 %s: %w", prof.Name, err)
+		}
+		out = append(out, metrics.FromCDF(prof.Name, res.Overall.TailCDF(0.95)))
+		results = append(results, res)
+	}
+	return out, results, nil
+}
+
+// Figure15 reproduces the memcached version comparison (1.4.15 vs 1.4.17,
+// TCP with connection churn) at the 500- and 2,000-node scales: the accept4
+// saving is marginal at 500 nodes and pronounced at 2,000.
+func Figure15(sweep MemcachedSweep) ([]*metrics.Series, error) {
+	sweep.normalize()
+	var out []*metrics.Series
+	for _, arrays := range []int{1, 4} {
+		for _, ver := range []memcache.Version{memcache.V1417(), memcache.V1415()} {
+			cfg := sweep.base()
+			cfg.Arrays = arrays
+			cfg.Proto = memcache.TCP
+			cfg.Version = ver
+			cfg.ChurnEvery = 25
+			res, err := RunMemcached(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure 15 %s %d-node: %w", ver.Name, Nodes(arrays), err)
+			}
+			name := fmt.Sprintf("%d-node memcached %s", Nodes(arrays), ver.Name)
+			out = append(out, metrics.FromCDF(name, res.Overall.TailCDF(0.95)))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+// Package cpu implements DIABLO's abstract server compute model: a
+// runtime-configurable fixed-CPI timing model (§3.3). "The goal of the
+// simple server model is not to model WSC server microarchitecture with
+// 100% accuracy but run a full software stack with an approximate
+// performance estimate or bound."
+//
+// All software costs in the simulated kernel and applications are expressed
+// as instruction counts; this package converts them to simulated time for a
+// given clock frequency and CPI.
+package cpu
+
+import (
+	"fmt"
+
+	"diablo/internal/sim"
+)
+
+// Model is a fixed-CPI single-core CPU.
+type Model struct {
+	// FreqHz is the core clock (the paper sweeps 2 GHz vs 4 GHz; the
+	// physical-testbed proxies use 3 GHz).
+	FreqHz int64
+	// CPI is the fixed cycles-per-instruction (paper default: all
+	// instructions take a fixed number of cycles; we default to 1).
+	CPI float64
+}
+
+// GHz builds a model at the given clock in GHz with CPI 1.
+func GHz(f float64) Model {
+	return Model{FreqHz: int64(f * 1e9), CPI: 1}
+}
+
+// Validate reports configuration errors.
+func (m Model) Validate() error {
+	if m.FreqHz <= 0 {
+		return fmt.Errorf("cpu: frequency must be positive, got %d", m.FreqHz)
+	}
+	if m.CPI <= 0 {
+		return fmt.Errorf("cpu: CPI must be positive, got %g", m.CPI)
+	}
+	return nil
+}
+
+// Time converts an instruction count to simulated time.
+func (m Model) Time(instructions int64) sim.Duration {
+	if instructions <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(instructions) * m.CPI * 1e12 / float64(m.FreqHz))
+}
+
+// Instructions converts a duration to the instruction count the core retires
+// in that time (used to size compute loops to target rates).
+func (m Model) Instructions(d sim.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(float64(d) * float64(m.FreqHz) / (m.CPI * 1e12))
+}
+
+// String renders the model.
+func (m Model) String() string {
+	return fmt.Sprintf("%.1fGHz/CPI=%.1f", float64(m.FreqHz)/1e9, m.CPI)
+}
+
+// Util tracks core busy time for utilization reporting (the paper notes
+// "CPU utilization in all servers is moderate, at under 50%").
+type Util struct {
+	Busy sim.Duration
+}
+
+// Charge accumulates busy time.
+func (u *Util) Charge(d sim.Duration) { u.Busy += d }
+
+// Fraction returns busy/elapsed, clamped to [0,1].
+func (u *Util) Fraction(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	f := float64(u.Busy) / float64(elapsed)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

@@ -1,0 +1,76 @@
+package cpu
+
+import (
+	"testing"
+
+	"diablo/internal/sim"
+)
+
+func TestTimeConversion(t *testing.T) {
+	m := GHz(4)
+	// 4 GHz, CPI 1: 1000 instructions = 250 ns.
+	if d := m.Time(1000); d != 250*sim.Nanosecond {
+		t.Fatalf("Time(1000) = %v, want 250ns", d)
+	}
+	m2 := GHz(2)
+	if d := m2.Time(1000); d != 500*sim.Nanosecond {
+		t.Fatalf("2GHz Time(1000) = %v, want 500ns", d)
+	}
+	if m.Time(0) != 0 || m.Time(-5) != 0 {
+		t.Fatal("non-positive instruction counts must cost zero time")
+	}
+}
+
+func TestCPIScaling(t *testing.T) {
+	m := Model{FreqHz: 1_000_000_000, CPI: 2}
+	if d := m.Time(500); d != sim.Microsecond {
+		t.Fatalf("CPI=2 Time(500) = %v, want 1us", d)
+	}
+}
+
+func TestInstructionsRoundTrip(t *testing.T) {
+	m := GHz(4)
+	for _, n := range []int64{1, 100, 12345, 1 << 20} {
+		d := m.Time(n)
+		back := m.Instructions(d)
+		if back < n-1 || back > n+1 {
+			t.Fatalf("round trip %d -> %v -> %d", n, d, back)
+		}
+	}
+	if m.Instructions(0) != 0 || m.Instructions(-1) != 0 {
+		t.Fatal("non-positive durations must give zero instructions")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := GHz(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Model{{FreqHz: 0, CPI: 1}, {FreqHz: 1e9, CPI: 0}, {FreqHz: -1, CPI: 1}} {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("%+v should not validate", m)
+		}
+	}
+}
+
+func TestUtil(t *testing.T) {
+	var u Util
+	u.Charge(250 * sim.Millisecond)
+	u.Charge(250 * sim.Millisecond)
+	if f := u.Fraction(sim.Second); f != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", f)
+	}
+	if f := u.Fraction(0); f != 0 {
+		t.Fatal("zero elapsed must give zero")
+	}
+	u.Charge(sim.Second)
+	if f := u.Fraction(sim.Second); f != 1 {
+		t.Fatalf("fraction must clamp to 1, got %v", f)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := GHz(4).String(); s != "4.0GHz/CPI=1.0" {
+		t.Fatalf("String = %q", s)
+	}
+}

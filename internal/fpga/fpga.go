@@ -1,0 +1,198 @@
+// Package fpga models the hardware side of DIABLO that a software
+// reproduction cannot execute: FPGA resource budgets, board packing, and
+// cost arithmetic. It encodes the published per-model resource counts of
+// Table 2 and the prototype/projection figures of §3.4, so the paper's
+// capacity and cost claims are reproducible as calculations.
+package fpga
+
+import (
+	"fmt"
+
+	"diablo/internal/metrics"
+)
+
+// Resources is an FPGA resource vector.
+type Resources struct {
+	LUT    int
+	Reg    int
+	BRAM   int
+	LUTRAM int
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUT + o.LUT, r.Reg + o.Reg, r.BRAM + o.BRAM, r.LUTRAM + o.LUTRAM}
+}
+
+// FitsIn reports whether r fits within capacity c.
+func (r Resources) FitsIn(c Resources) bool {
+	return r.LUT <= c.LUT && r.Reg <= c.Reg && r.BRAM <= c.BRAM && r.LUTRAM <= c.LUTRAM
+}
+
+// Utilization returns the maximum fractional utilization across resource
+// classes of r against capacity c.
+func (r Resources) Utilization(c Resources) float64 {
+	max := 0.0
+	for _, f := range []float64{
+		float64(r.LUT) / float64(c.LUT),
+		float64(r.Reg) / float64(c.Reg),
+		float64(r.BRAM) / float64(c.BRAM),
+		float64(r.LUTRAM) / float64(c.LUTRAM),
+	} {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// Table 2: Rack FPGA resource utilization on Xilinx Virtex-5 LX155T after
+// place and route (Xilinx ISE 14.3).
+var (
+	ServerModels     = Resources{LUT: 28445, Reg: 37463, BRAM: 96, LUTRAM: 6584}
+	NICModels        = Resources{LUT: 9467, Reg: 4785, BRAM: 10, LUTRAM: 752}
+	RackSwitchModels = Resources{LUT: 4511, Reg: 3482, BRAM: 52, LUTRAM: 345}
+	Miscellaneous    = Resources{LUT: 3395, Reg: 16052, BRAM: 31, LUTRAM: 5058}
+)
+
+// PublishedTotal is the "Total" row exactly as printed in Table 2. Note the
+// published register total (62,811) exceeds the sum of the component rows
+// (61,782) by 1,029 — a discrepancy present in the paper itself; we preserve
+// both.
+var PublishedTotal = Resources{LUT: 45818, Reg: 62811, BRAM: 189, LUTRAM: 12739}
+
+// RackFPGATotal is the sum of the Table 2 component rows.
+func RackFPGATotal() Resources {
+	return ServerModels.Add(NICModels).Add(RackSwitchModels).Add(Miscellaneous)
+}
+
+// Virtex5LX155T is the device capacity of the BEE3's FPGAs.
+// (97,280 6-LUTs / registers; 212 36Kb BRAMs; usable distributed RAM LUTs.)
+var Virtex5LX155T = Resources{LUT: 97280, Reg: 97280, BRAM: 212, LUTRAM: 24320}
+
+// Table2 renders Table 2 as published.
+func Table2() *metrics.Table {
+	tb := &metrics.Table{
+		Title:   "Table 2: Rack FPGA resource utilization on Xilinx Virtex-5 LX155T",
+		Columns: []string{"Component Name", "LUT", "Register", "BRAM", "LUTRAM"},
+	}
+	row := func(name string, r Resources) {
+		tb.AddRow(name, fmt.Sprint(r.LUT), fmt.Sprint(r.Reg), fmt.Sprint(r.BRAM), fmt.Sprint(r.LUTRAM))
+	}
+	row("Server Models", ServerModels)
+	row("NIC Models", NICModels)
+	row("Rack Switch Models", RackSwitchModels)
+	row("Miscellaneous", Miscellaneous)
+	row("Total", PublishedTotal)
+	return tb
+}
+
+// BoardSpec describes an FPGA board used to host DIABLO.
+type BoardSpec struct {
+	Name          string
+	FPGAs         int
+	DRAMPerFPGAGB int
+	CostUSD       int
+	// ServersPerRackFPGA: four 32-thread server pipelines per Rack FPGA,
+	// 31 usable threads each (one thread's DRAM is reserved for the ToR
+	// switch model's packet buffers).
+	ServerPipelines    int
+	ThreadsPerPipeline int
+	UsableThreads      int
+}
+
+// BEE3 is the 2007-era board of the prototype (§3.4).
+func BEE3() BoardSpec {
+	return BoardSpec{
+		Name:               "BEE3",
+		FPGAs:              4,
+		DRAMPerFPGAGB:      16,
+		CostUSD:            15000,
+		ServerPipelines:    4,
+		ThreadsPerPipeline: 32,
+		UsableThreads:      31,
+	}
+}
+
+// ServersPerRackFPGA returns the simulated servers hosted by one Rack FPGA.
+func (b BoardSpec) ServersPerRackFPGA() int {
+	return b.ServerPipelines * b.UsableThreads
+}
+
+// RacksPerRackFPGA returns the ToR switches modeled per Rack FPGA (one per
+// server pipeline).
+func (b BoardSpec) RacksPerRackFPGA() int { return b.ServerPipelines }
+
+// Prototype describes a DIABLO deployment: boards split between Rack FPGAs
+// and Switch FPGAs.
+type Prototype struct {
+	Board        BoardSpec
+	RackBoards   int
+	SwitchBoards int
+}
+
+// PaperPrototype is the 3,000-node system of §3.4: 9 BEE3 boards, six with
+// the Rack-FPGA configuration and three with the Switch-FPGA configuration.
+func PaperPrototype() Prototype {
+	return Prototype{Board: BEE3(), RackBoards: 6, SwitchBoards: 3}
+}
+
+// SimulatedServers returns the server capacity.
+func (p Prototype) SimulatedServers() int {
+	return p.RackBoards * p.Board.FPGAs * p.Board.ServersPerRackFPGA()
+}
+
+// SimulatedRackSwitches returns the ToR switch model capacity.
+func (p Prototype) SimulatedRackSwitches() int {
+	return p.RackBoards * p.Board.FPGAs * p.Board.RacksPerRackFPGA()
+}
+
+// TotalBoards returns the board count.
+func (p Prototype) TotalBoards() int { return p.RackBoards + p.SwitchBoards }
+
+// CostUSD returns the board cost of the system.
+func (p Prototype) CostUSD() int { return p.TotalBoards() * p.Board.CostUSD }
+
+// TotalDRAMGB returns aggregate DRAM capacity.
+func (p Prototype) TotalDRAMGB() int {
+	return p.TotalBoards() * p.Board.FPGAs * p.Board.DRAMPerFPGAGB
+}
+
+// DRAMChannels returns independent DRAM channels (two per FPGA on BEE3).
+func (p Prototype) DRAMChannels() int { return p.TotalBoards() * p.Board.FPGAs * 2 }
+
+// CostComparison captures §1/§3.4's economic argument.
+type CostComparison struct {
+	DIABLOCostUSD         int
+	DIABLONodes           int
+	RealArrayCapexUSD     int
+	RealArrayOpexPerMoUSD int
+}
+
+// PaperCostComparison returns the published comparison: an O(10,000)-node
+// DIABLO for ~$150K versus ~$36M CAPEX + $800K/month OPEX for the real
+// array.
+func PaperCostComparison() CostComparison {
+	return CostComparison{
+		DIABLOCostUSD:         150_000,
+		DIABLONodes:           32_000,
+		RealArrayCapexUSD:     36_000_000,
+		RealArrayOpexPerMoUSD: 800_000,
+	}
+}
+
+// CapexRatio returns how many times cheaper DIABLO is than the real array.
+func (c CostComparison) CapexRatio() float64 {
+	return float64(c.RealArrayCapexUSD) / float64(c.DIABLOCostUSD)
+}
+
+// ScaledSystem computes the boards needed for a target server count using
+// the prototype's packing ratios (used for the §3.4 claim that 13 more
+// boards reach 11,904 servers).
+func ScaledSystem(board BoardSpec, servers int) Prototype {
+	perBoard := board.FPGAs * board.ServersPerRackFPGA()
+	rackBoards := (servers + perBoard - 1) / perBoard
+	// The prototype used one switch board per two rack boards.
+	switchBoards := (rackBoards + 1) / 2
+	return Prototype{Board: board, RackBoards: rackBoards, SwitchBoards: switchBoards}
+}

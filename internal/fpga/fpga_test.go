@@ -1,0 +1,107 @@
+package fpga
+
+import "testing"
+
+func TestTable2Totals(t *testing.T) {
+	// LUT, BRAM and LUTRAM totals sum exactly; the paper's own register
+	// total exceeds its rows by 1,029 (a discrepancy in the original),
+	// which we preserve via PublishedTotal.
+	total := RackFPGATotal()
+	if total.LUT != PublishedTotal.LUT || total.BRAM != PublishedTotal.BRAM || total.LUTRAM != PublishedTotal.LUTRAM {
+		t.Fatalf("Table 2 sums = %+v, published %+v", total, PublishedTotal)
+	}
+	if diff := PublishedTotal.Reg - total.Reg; diff != 1029 {
+		t.Fatalf("register discrepancy = %d, the paper's is 1029", diff)
+	}
+}
+
+func TestRackFPGAFitsDevice(t *testing.T) {
+	total := RackFPGATotal()
+	if !total.FitsIn(Virtex5LX155T) {
+		t.Fatal("Rack FPGA design must fit the LX155T")
+	}
+	u := total.Utilization(Virtex5LX155T)
+	// The paper reports ~95% of logic slices occupied including routing;
+	// raw LUT/BRAM utilization must be high but under 100%.
+	if u < 0.40 || u >= 1.0 {
+		t.Fatalf("utilization = %.2f, want high but feasible", u)
+	}
+}
+
+func TestPrototypeCapacity(t *testing.T) {
+	p := PaperPrototype()
+	// §3.4: six rack boards simulate 2,976 servers with 96 rack switches.
+	if got := p.SimulatedServers(); got != 2976 {
+		t.Fatalf("servers = %d, want 2976", got)
+	}
+	if got := p.SimulatedRackSwitches(); got != 96 {
+		t.Fatalf("rack switches = %d, want 96", got)
+	}
+	// Nine boards at $15K each: ~$140K total ("about $140K").
+	if cost := p.CostUSD(); cost != 135_000 {
+		t.Fatalf("cost = $%d, want $135K (paper rounds to ~$140K)", cost)
+	}
+	// "a total memory capacity of 576 GB in 72 independent DRAM channels".
+	if p.TotalDRAMGB() != 576 {
+		t.Fatalf("DRAM = %d GB, want 576", p.TotalDRAMGB())
+	}
+	if p.DRAMChannels() != 72 {
+		t.Fatalf("channels = %d, want 72", p.DRAMChannels())
+	}
+}
+
+func TestBoardPacking(t *testing.T) {
+	b := BEE3()
+	// Four pipelines x 31 usable threads = 124 servers per Rack FPGA.
+	if b.ServersPerRackFPGA() != 124 {
+		t.Fatalf("servers per FPGA = %d, want 124", b.ServersPerRackFPGA())
+	}
+	if b.RacksPerRackFPGA() != 4 {
+		t.Fatalf("racks per FPGA = %d, want 4", b.RacksPerRackFPGA())
+	}
+}
+
+func TestScaledSystem(t *testing.T) {
+	// §3.4: "Using an additional 13 boards, we could scale the existing
+	// system to build an emulated large WSC array with 11,904 servers".
+	p := ScaledSystem(BEE3(), 11_904)
+	if p.SimulatedServers() < 11_904 {
+		t.Fatalf("scaled system hosts %d servers, want >= 11904", p.SimulatedServers())
+	}
+	if p.RackBoards != 24 {
+		t.Fatalf("rack boards = %d, want 24 (11904/496)", p.RackBoards)
+	}
+	// 24 rack + 12 switch boards = 36 total; prototype already has 9, so
+	// the increment is to a 36-board class system.
+	if p.TotalBoards() != 36 {
+		t.Fatalf("total boards = %d, want 36", p.TotalBoards())
+	}
+}
+
+func TestCostComparison(t *testing.T) {
+	c := PaperCostComparison()
+	ratio := c.CapexRatio()
+	// $36M / $150K = 240x cheaper.
+	if ratio < 239 || ratio > 241 {
+		t.Fatalf("capex ratio = %v, want 240", ratio)
+	}
+}
+
+func TestResourceArithmetic(t *testing.T) {
+	a := Resources{1, 2, 3, 4}
+	b := Resources{10, 20, 30, 40}
+	sum := a.Add(b)
+	if sum != (Resources{11, 22, 33, 44}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if !a.FitsIn(b) || b.FitsIn(a) {
+		t.Fatal("FitsIn broken")
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	out := Table2().String()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,471 @@
+package kernel
+
+import (
+	"fmt"
+
+	"diablo/internal/cpu"
+	"diablo/internal/nic"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+	"diablo/internal/tcp"
+)
+
+// Router supplies source routes for outgoing packets (implemented by
+// topology.Topology).
+type Router interface {
+	Route(src, dst packet.NodeID) []uint8
+}
+
+// Config configures one simulated server.
+type Config struct {
+	CPU     cpu.Model
+	Profile Profile
+	NIC     nic.Params
+	TCP     tcp.Config
+
+	// QdiscLen is the device transmit queue length in packets between the
+	// stack and the NIC ring (Linux txqueuelen, default 1000).
+	QdiscLen int
+
+	// UDPRcvBuf is the per-socket datagram receive buffer in bytes.
+	UDPRcvBuf int
+
+	// ZeroCopy removes the per-byte copy cost on transmit (scatter/gather
+	// DMA, §3.3 NIC model).
+	ZeroCopy bool
+}
+
+// DefaultConfig returns a 4 GHz server with e1000 NIC and Linux 2.6.39.
+func DefaultConfig() Config {
+	return Config{
+		CPU:       cpu.GHz(4),
+		Profile:   Linux2639(),
+		NIC:       nic.Defaults(),
+		TCP:       tcp.DefaultConfig(),
+		QdiscLen:  1000,
+		UDPRcvBuf: 208 * 1024,
+		ZeroCopy:  true,
+	}
+}
+
+// Validate checks the composite configuration.
+func (c *Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if err := c.NIC.Validate(); err != nil {
+		return err
+	}
+	if err := c.TCP.Validate(); err != nil {
+		return err
+	}
+	if c.QdiscLen <= 0 {
+		return fmt.Errorf("kernel: QdiscLen must be positive")
+	}
+	if c.UDPRcvBuf <= 0 {
+		return fmt.Errorf("kernel: UDPRcvBuf must be positive")
+	}
+	return nil
+}
+
+// kwork is one unit of kernel-context CPU work.
+type kwork struct {
+	d  sim.Duration
+	fn func()
+}
+
+// MachineStats aggregates per-server counters.
+type MachineStats struct {
+	QdiscDrops   uint64
+	UDPRcvDrops  uint64
+	LoopbackPkts uint64
+	Syscalls     uint64
+	CtxSwitches  uint64
+	Interrupts   uint64
+}
+
+// Machine is one simulated server: a single core, its kernel state, its NIC
+// and its sockets. All methods must be invoked from the simulation's event
+// context (or from a Thread belonging to this machine).
+type Machine struct {
+	eng  *sim.Engine
+	node packet.NodeID
+	cfg  Config
+	rng  *sim.Rand
+
+	// CPU executor state.
+	kq         []kwork
+	kActive    bool
+	cur        *Thread // thread owning the CPU (may be paused by kernel work)
+	chunkEvent sim.EventID
+	chunkArmed bool
+	chunkStart sim.Time
+	chunkLen   sim.Duration
+	runq       []*Thread
+	lastRun    *Thread
+	inThread   bool // a thread goroutine is executing right now
+	parked     chan struct{}
+	threads    []*Thread
+
+	// Network state.
+	dev       *nic.NIC
+	router    Router
+	qdisc     []*packet.Packet
+	udpSocks  map[packet.Port]*UDPSocket
+	listeners map[packet.Port]*TCPListener
+	conns     map[connKey]*TCPSocket
+	nextPort  packet.Port
+
+	Util      cpu.Util
+	Stats     MachineStats
+	tcpClosed tcpStatsTotal
+}
+
+// tcpStatsTotal accumulates protocol stats of closed connections.
+type tcpStatsTotal struct{ tcp.Stats }
+
+func (t *tcpStatsTotal) accumulate(s tcp.Stats) {
+	t.SegsOut += s.SegsOut
+	t.SegsIn += s.SegsIn
+	t.BytesOut += s.BytesOut
+	t.BytesIn += s.BytesIn
+	t.Retransmits += s.Retransmits
+	t.FastRetransmits += s.FastRetransmits
+	t.Timeouts += s.Timeouts
+	t.DupAcksIn += s.DupAcksIn
+}
+
+// TCPStats returns the machine's aggregate TCP protocol statistics across
+// live and closed connections.
+func (m *Machine) TCPStats() tcp.Stats {
+	total := m.tcpClosed
+	for _, s := range m.conns {
+		total.accumulate(s.conn.Stats)
+	}
+	return total.Stats
+}
+
+type connKey struct {
+	local      packet.Port
+	remoteNode packet.NodeID
+	remotePort packet.Port
+}
+
+// New creates a machine. wire is the NIC's egress link toward the ToR; the
+// machine's NIC is registered as the endpoint for the reverse link by the
+// cluster builder via Machine.NIC().
+func New(eng *sim.Engine, node packet.NodeID, cfg Config, router Router, dev *nic.NIC, seed uint64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		eng:       eng,
+		node:      node,
+		cfg:       cfg,
+		rng:       sim.NewRand(sim.DeriveSeed(seed, fmt.Sprintf("machine-%d", node))),
+		parked:    make(chan struct{}),
+		dev:       dev,
+		router:    router,
+		udpSocks:  make(map[packet.Port]*UDPSocket),
+		listeners: make(map[packet.Port]*TCPListener),
+		conns:     make(map[connKey]*TCPSocket),
+		nextPort:  32768,
+	}
+	dev.OnRxInterrupt = m.rxInterrupt
+	dev.OnTxDrain = m.drainQdisc
+	return m, nil
+}
+
+// Node returns the machine's node ID.
+func (m *Machine) Node() packet.NodeID { return m.node }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NIC returns the machine's network device.
+func (m *Machine) NIC() *nic.NIC { return m.dev }
+
+// Rand returns the machine's deterministic random stream.
+func (m *Machine) Rand() *sim.Rand { return m.rng }
+
+// Now returns the simulated time.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// Engine returns the simulation engine the machine runs on.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// instrTime converts instructions to time on this machine's core.
+func (m *Machine) instrTime(instr int64) sim.Duration { return m.cfg.CPU.Time(instr) }
+
+// copyCost returns the user/kernel copy time for n bytes.
+func (m *Machine) copyCost(n int) sim.Duration {
+	return m.cfg.CPU.Time(int64(float64(n) * m.cfg.Profile.CopyPerByte))
+}
+
+// --- CPU executor ------------------------------------------------------------
+
+// kernelWork queues non-preemptible kernel-context CPU work (interrupt and
+// softirq handling, protocol processing). Kernel work has priority over user
+// threads: a running user chunk is paused until the kernel queue drains.
+func (m *Machine) kernelWork(d sim.Duration, fn func()) {
+	m.kq = append(m.kq, kwork{d: d, fn: fn})
+	m.scheduleCPU()
+}
+
+// scheduleCPU advances the CPU state machine. It is safe to call from any
+// engine-context site; while a thread goroutine is live it defers to the
+// resumeThread continuation.
+func (m *Machine) scheduleCPU() {
+	if m.inThread || m.kActive {
+		return
+	}
+	// Kernel work first.
+	if len(m.kq) > 0 {
+		if m.chunkArmed {
+			m.pauseChunk()
+		}
+		w := m.kq[0]
+		m.kq = m.kq[1:]
+		m.kActive = true
+		m.Util.Charge(w.d)
+		m.eng.After(w.d, func() {
+			m.kActive = false
+			if w.fn != nil {
+				w.fn()
+			}
+			m.scheduleCPU()
+		})
+		return
+	}
+	if m.chunkArmed {
+		return // a user chunk is already running
+	}
+	// Pick a user thread.
+	if m.cur == nil {
+		if len(m.runq) == 0 {
+			return // idle
+		}
+		m.cur = m.runq[0]
+		m.runq = m.runq[1:]
+		if m.lastRun != m.cur {
+			m.cur.remaining += m.instrTime(m.cfg.Profile.CtxSwitchInstr)
+			m.Stats.CtxSwitches++
+		}
+		m.cur.sliceLeft = m.cfg.Profile.TimeSlice
+		m.lastRun = m.cur
+	}
+	t := m.cur
+	if t.remaining <= 0 {
+		// The thread's pending CPU demand is satisfied: let it run app code.
+		m.resumeThread(t)
+		return
+	}
+	chunk := t.remaining
+	if len(m.runq) > 0 && chunk > t.sliceLeft {
+		chunk = t.sliceLeft
+	}
+	if chunk <= 0 {
+		chunk = t.remaining // degenerate slice: run a full demand chunk
+	}
+	m.chunkArmed = true
+	m.chunkStart = m.eng.Now()
+	m.chunkLen = chunk
+	m.chunkEvent = m.eng.After(chunk, m.chunkDone)
+}
+
+func (m *Machine) chunkDone() {
+	m.chunkArmed = false
+	t := m.cur
+	m.Util.Charge(m.chunkLen)
+	t.remaining -= m.chunkLen
+	t.sliceLeft -= m.chunkLen
+	if t.remaining > 0 {
+		// Slice expired with demand left: rotate to the runqueue tail.
+		m.runq = append(m.runq, t)
+		m.cur = nil
+	}
+	m.scheduleCPU()
+}
+
+func (m *Machine) pauseChunk() {
+	elapsed := m.eng.Now().Sub(m.chunkStart)
+	m.Util.Charge(elapsed)
+	m.cur.remaining -= elapsed
+	m.cur.sliceLeft -= elapsed
+	m.eng.Cancel(m.chunkEvent)
+	m.chunkArmed = false
+}
+
+// resumeThread hands the (single) flow of control to t's goroutine and waits
+// for it to park again, then reschedules the CPU.
+func (m *Machine) resumeThread(t *Thread) {
+	m.inThread = true
+	t.resume <- struct{}{}
+	<-m.parked
+	m.inThread = false
+	m.scheduleCPU()
+}
+
+// wake makes a blocked or sleeping thread runnable, charging the scheduler
+// wakeup cost.
+func (m *Machine) wake(t *Thread) {
+	if t.state != threadBlocked && t.state != threadSleeping {
+		return
+	}
+	t.state = threadRunnable
+	t.remaining += m.instrTime(m.cfg.Profile.WakeupInstr)
+	m.runq = append(m.runq, t)
+	m.scheduleCPU()
+}
+
+// --- transmit path -------------------------------------------------------------
+
+// transmit routes pkt and hands it to the NIC (or the loopback path).
+func (m *Machine) transmit(pkt *packet.Packet) {
+	pkt.Src.Node = m.node
+	if pkt.Dst.Node == m.node {
+		m.Stats.LoopbackPkts++
+		m.eng.After(10*sim.Microsecond, func() { m.deliver(pkt) })
+		return
+	}
+	pkt.Route = m.router.Route(m.node, pkt.Dst.Node)
+	pkt.Hop = 0
+	if m.dev.Transmit(pkt) {
+		return
+	}
+	if len(m.qdisc) >= m.cfg.QdiscLen {
+		m.Stats.QdiscDrops++
+		return
+	}
+	m.qdisc = append(m.qdisc, pkt)
+}
+
+// drainQdisc pushes queued frames into freed TX descriptors.
+func (m *Machine) drainQdisc() {
+	for len(m.qdisc) > 0 {
+		if !m.dev.Transmit(m.qdisc[0]) {
+			return
+		}
+		m.qdisc[0] = nil
+		m.qdisc = m.qdisc[1:]
+	}
+}
+
+// --- receive path --------------------------------------------------------------
+
+// rxInterrupt is the NIC's hardware interrupt: charge IRQ entry, then poll
+// (NAPI: interrupts stay masked while the poll loop drains the ring).
+func (m *Machine) rxInterrupt() {
+	m.Stats.Interrupts++
+	m.dev.SetRxIntEnabled(false)
+	m.kernelWork(m.instrTime(m.cfg.Profile.IRQInstr), m.napiPoll)
+}
+
+// napiPoll processes one frame per kernel-work item until the ring drains,
+// then re-enables interrupts.
+func (m *Machine) napiPoll() {
+	pkt := m.dev.PopRx()
+	if pkt == nil {
+		m.dev.SetRxIntEnabled(true)
+		return
+	}
+	var cost sim.Duration
+	switch pkt.Proto {
+	case packet.ProtoTCP:
+		cost = m.instrTime(m.cfg.Profile.RxTCPInstr)
+	default:
+		cost = m.instrTime(m.cfg.Profile.RxUDPInstr)
+	}
+	m.kernelWork(cost, func() {
+		m.deliver(pkt)
+		m.napiPoll()
+	})
+}
+
+// deliver demultiplexes a received packet to its socket.
+func (m *Machine) deliver(pkt *packet.Packet) {
+	switch pkt.Proto {
+	case packet.ProtoUDP:
+		m.deliverUDP(pkt)
+	case packet.ProtoTCP:
+		m.deliverTCP(pkt)
+	}
+}
+
+func (m *Machine) deliverTCP(pkt *packet.Packet) {
+	key := connKey{local: pkt.Dst.Port, remoteNode: pkt.Src.Node, remotePort: pkt.Src.Port}
+	if sock, ok := m.conns[key]; ok {
+		sock.conn.Input(pkt)
+		return
+	}
+	// No connection: a SYN for a listening port creates one.
+	if pkt.TCP.Flags&packet.FlagSYN != 0 && pkt.TCP.Flags&packet.FlagACK == 0 {
+		if lis, ok := m.listeners[pkt.Dst.Port]; ok {
+			lis.incoming(pkt, key)
+			return
+		}
+	}
+	// Otherwise answer with a RST so peers retransmitting into a vanished
+	// connection (e.g. a lost final ACK of a close handshake) terminate
+	// instead of backing off forever.
+	if pkt.TCP.Flags&packet.FlagRST == 0 {
+		rst := &packet.Packet{
+			Src:   pkt.Dst,
+			Dst:   pkt.Src,
+			Proto: packet.ProtoTCP,
+			TCP: packet.TCPHdr{
+				Flags: packet.FlagRST | packet.FlagACK,
+				Seq:   pkt.TCP.Ack,
+				Ack:   pkt.TCP.Seq + uint32(pkt.PayloadBytes),
+			},
+		}
+		m.kernelWork(m.instrTime(m.cfg.Profile.TxTCPInstr/2), func() { m.transmit(rst) })
+	}
+}
+
+// ephemeralPort allocates a local port for an outgoing connection.
+func (m *Machine) ephemeralPort() packet.Port {
+	for {
+		p := m.nextPort
+		m.nextPort++
+		if m.nextPort == 0 {
+			m.nextPort = 32768
+		}
+		if _, udpTaken := m.udpSocks[p]; udpTaken {
+			continue
+		}
+		return p
+	}
+}
+
+// tcpEnv adapts the machine to tcp.Env, charging TX costs per segment.
+type tcpEnv struct {
+	m *Machine
+}
+
+func (e tcpEnv) Now() sim.Time                        { return e.m.eng.Now() }
+func (e tcpEnv) At(t sim.Time, fn func()) sim.EventID { return e.m.eng.At(t, fn) }
+func (e tcpEnv) Cancel(id sim.EventID)                { e.m.eng.Cancel(id) }
+
+// Output charges the per-segment transmit cost in kernel context, then hands
+// the segment to the driver. FIFO kernel work keeps segments ordered.
+func (e tcpEnv) Output(pkt *packet.Packet) {
+	m := e.m
+	m.kernelWork(m.instrTime(m.cfg.Profile.TxTCPInstr), func() { m.transmit(pkt) })
+}
+
+// Shutdown kills every thread on the machine (used by experiment teardown to
+// release goroutines). The engine must not be running.
+func (m *Machine) Shutdown() {
+	for _, t := range m.threads {
+		if t.state == threadDead {
+			continue
+		}
+		t.killed = true
+		t.resume <- struct{}{}
+		<-m.parked
+	}
+}

@@ -1,0 +1,153 @@
+package kernel
+
+import (
+	"testing"
+
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+func TestCondSignalWakesOne(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	cond := NewCond(r.a)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		r.a.Spawn("waiter", func(th *Thread) {
+			cond.Wait(th)
+			woken++
+		})
+	}
+	r.a.Spawn("signaler", func(th *Thread) {
+		th.Sleep(sim.Millisecond)
+		cond.Signal(th)
+		th.Sleep(sim.Millisecond)
+		cond.Broadcast(th)
+	})
+	r.run(100 * sim.Millisecond)
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestCondSignalFromEventContext(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	cond := NewCond(r.a)
+	woken := false
+	r.a.Spawn("waiter", func(th *Thread) {
+		cond.Wait(th)
+		woken = true
+	})
+	r.eng.At(sim.Time(5*sim.Millisecond), func() { cond.Signal(nil) })
+	r.run(100 * sim.Millisecond)
+	if !woken {
+		t.Fatal("event-context signal lost")
+	}
+}
+
+func TestBarrierTwoPhase(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	const n = 4
+	b := NewBarrier(r.a, n)
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		r.a.Spawn("worker", func(th *Thread) {
+			for round := 0; round < 3; round++ {
+				th.Compute(int64(1000 * (i + 1))) // skewed arrival
+				b.Wait(th)
+				order = append(order, round)
+			}
+		})
+	}
+	r.run(sim.Second)
+	if len(order) != 3*n {
+		t.Fatalf("completed %d waits, want %d", len(order), 3*n)
+	}
+	// Rounds must not interleave: all of round k before any of round k+1.
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("barrier rounds interleaved: %v", order)
+		}
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	wg := NewWaitGroup(r.a)
+	wg.Add(3)
+	var doneAt sim.Time
+	finished := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		r.a.Spawn("worker", func(th *Thread) {
+			th.Sleep(sim.Duration(i+1) * sim.Millisecond)
+			finished++
+			wg.Done()
+		})
+	}
+	r.a.Spawn("waiter", func(th *Thread) {
+		wg.Wait(th)
+		doneAt = th.Now()
+	})
+	r.run(sim.Second)
+	if finished != 3 {
+		t.Fatalf("finished = %d", finished)
+	}
+	if doneAt < sim.Time(3*sim.Millisecond) {
+		t.Fatalf("waiter released at %v, before the slowest worker", doneAt)
+	}
+}
+
+func TestEpollKick(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	var rounds int
+	var ep *Epoll
+	r.a.Spawn("poller", func(th *Thread) {
+		s, _ := th.UDPSocket(9100)
+		ep = th.EpollCreate()
+		ep.Add(th, s, EpollIn, nil)
+		for rounds < 2 {
+			evs := ep.Wait(th, 8, WaitForever)
+			rounds++
+			_ = evs
+		}
+	})
+	// Two kicks from event context unblock the infinite waits.
+	r.eng.At(sim.Time(2*sim.Millisecond), func() { ep.Kick() })
+	r.eng.At(sim.Time(4*sim.Millisecond), func() { ep.Kick() })
+	r.run(100 * sim.Millisecond)
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2 (kicks lost)", rounds)
+	}
+}
+
+func TestListenerBacklogRefusesSyn(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// Server listens with backlog 1 and never accepts; a flood of connects
+	// must leave refusals behind.
+	var lis *TCPListener
+	r.b.Spawn("server", func(th *Thread) {
+		l, err := th.Listen(80, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		lis = l
+		th.Sleep(1000 * sim.Second)
+	})
+	results := make([]error, 0, 4)
+	r.a.Spawn("clients", func(th *Thread) {
+		th.Sleep(sim.Millisecond)
+		for i := 0; i < 4; i++ {
+			_, err := th.Connect(packet.Addr{Node: 1, Port: 80})
+			results = append(results, err)
+		}
+	})
+	r.run(30 * sim.Second)
+	if lis == nil {
+		t.Fatal("listener missing")
+	}
+	if lis.Stats.Refused == 0 {
+		t.Fatalf("no SYNs refused despite backlog 1 (results: %v)", results)
+	}
+}

@@ -1,0 +1,111 @@
+// Package link models point-to-point Ethernet links: serialization at the
+// link rate, propagation delay, and delivery to the receiving endpoint.
+// A link is simplex; a cable is a pair of links. Buffering policy lives in
+// the transmitting device (NIC or switch), not here — the link only enforces
+// that bits are serialized one frame at a time.
+package link
+
+import (
+	"diablo/internal/metrics"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+// Endpoint consumes packets delivered by a link. Receive is invoked when the
+// last bit of the frame arrives.
+type Endpoint interface {
+	Receive(pkt *packet.Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(*packet.Packet)
+
+// Receive calls f(pkt).
+func (f EndpointFunc) Receive(pkt *packet.Packet) { f(pkt) }
+
+// Link is a simplex link from a transmitter to an endpoint.
+type Link struct {
+	eng  *sim.Engine
+	dst  Endpoint
+	rate int64        // bits per second
+	prop sim.Duration // propagation delay
+
+	nextFree sim.Time // when the transmit side is next idle
+
+	// Stats counts frames and bytes carried.
+	Stats metrics.Counter
+}
+
+// New creates a link delivering to dst at the given rate (bits per second)
+// with the given propagation delay.
+func New(eng *sim.Engine, dst Endpoint, bitsPerSecond int64, prop sim.Duration) *Link {
+	if bitsPerSecond <= 0 {
+		panic("link: non-positive rate")
+	}
+	return &Link{eng: eng, dst: dst, rate: bitsPerSecond, prop: prop}
+}
+
+// Rate returns the link rate in bits per second.
+func (l *Link) Rate() int64 { return l.rate }
+
+// Prop returns the propagation delay.
+func (l *Link) Prop() sim.Duration { return l.prop }
+
+// SetDst rebinds the receiving endpoint (used while wiring topologies).
+func (l *Link) SetDst(dst Endpoint) { l.dst = dst }
+
+// SerializationTime returns the time to clock pkt onto the wire.
+func (l *Link) SerializationTime(pkt *packet.Packet) sim.Duration {
+	return sim.TransmitTime(pkt.WireBytes(), l.rate)
+}
+
+// Busy reports whether the transmitter is mid-frame at time now.
+func (l *Link) Busy(now sim.Time) bool { return now < l.nextFree }
+
+// FreeAt returns when the transmitter becomes idle.
+func (l *Link) FreeAt() sim.Time { return l.nextFree }
+
+// Send begins serializing pkt at now (or when the current frame finishes,
+// whichever is later) and schedules delivery at the receiver. It returns the
+// time the transmit side becomes free — well-paced devices use it to
+// schedule their next dequeue. Pacing is the caller's job; the link
+// tolerates back-to-back sends by queueing in time.
+func (l *Link) Send(pkt *packet.Packet) (txDone sim.Time) {
+	return l.SendFrom(l.eng.Now(), pkt)
+}
+
+// SendFrom is Send with an explicit earliest transmission-start time, which
+// may lie in the past relative to the engine clock. Cut-through switches use
+// this: they learn of a frame when its last bit arrives, but the egress
+// transmission logically began when the header crossed the fabric. Backdated
+// starts are causally safe as long as the egress rate does not exceed the
+// ingress rate (the switch checks this); the delivery event itself is
+// clamped to never fire before now.
+func (l *Link) SendFrom(earliest sim.Time, pkt *packet.Packet) (txDone sim.Time) {
+	start := earliest
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	ser := l.SerializationTime(pkt)
+	txDone = start.Add(ser)
+	l.nextFree = txDone
+	l.Stats.Add(pkt.WireBytes())
+
+	pkt.FirstBitArrival = start.Add(l.prop)
+	deliver := txDone.Add(l.prop)
+	now := l.eng.Now()
+	if deliver < now {
+		deliver = now
+	}
+	dst := l.dst
+	l.eng.At(deliver, func() { dst.Receive(pkt) })
+	return txDone
+}
+
+// Utilization returns the fraction of the elapsed time spent transmitting.
+func (l *Link) Utilization(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return l.Stats.Throughput(elapsed) / float64(l.rate)
+}

@@ -1,0 +1,130 @@
+package link
+
+import (
+	"testing"
+
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+func mkpkt(payload int) *packet.Packet {
+	return &packet.Packet{
+		Src:          packet.Addr{Node: 0, Port: 1},
+		Dst:          packet.Addr{Node: 1, Port: 2},
+		Proto:        packet.ProtoUDP,
+		PayloadBytes: payload,
+	}
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	var got sim.Time = -1
+	var first sim.Time
+	sink := EndpointFunc(func(p *packet.Packet) {
+		got = eng.Now()
+		first = p.FirstBitArrival
+	})
+	l := New(eng, sink, 1_000_000_000, 500*sim.Nanosecond)
+
+	p := mkpkt(1472) // full frame: 1500B IP + 14+4 eth + 20 wire overhead
+	wire := p.WireBytes()
+	if wire != 1538 {
+		t.Fatalf("wire bytes = %d, want 1538", wire)
+	}
+	eng.At(0, func() { l.Send(p) })
+	eng.Run()
+	want := sim.Time(sim.TransmitTime(wire, 1_000_000_000) + 500*sim.Nanosecond)
+	if got != want {
+		t.Fatalf("delivered at %v, want %v", got, want)
+	}
+	if first != sim.Time(500*sim.Nanosecond) {
+		t.Fatalf("first bit at %v, want 500ns", first)
+	}
+}
+
+func TestBackToBackSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	var times []sim.Time
+	sink := EndpointFunc(func(p *packet.Packet) { times = append(times, eng.Now()) })
+	l := New(eng, sink, 1_000_000_000, 0)
+
+	eng.At(0, func() {
+		// Two sends in the same instant must serialize, not overlap.
+		l.Send(mkpkt(1472))
+		l.Send(mkpkt(1472))
+	})
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d packets", len(times))
+	}
+	ser := sim.TransmitTime(1538, 1_000_000_000)
+	if times[0] != sim.Time(ser) || times[1] != sim.Time(2*ser) {
+		t.Fatalf("delivery times %v, want %v and %v", times, ser, 2*ser)
+	}
+}
+
+func TestMinFramePadding(t *testing.T) {
+	p := mkpkt(1) // tiny UDP payload -> padded to 64B frame
+	if p.FrameBytes() != 64 {
+		t.Fatalf("frame bytes = %d, want 64", p.FrameBytes())
+	}
+	if p.WireBytes() != 84 {
+		t.Fatalf("wire bytes = %d, want 84", p.WireBytes())
+	}
+}
+
+func TestBusyAndFreeAt(t *testing.T) {
+	eng := sim.NewEngine()
+	l := New(eng, EndpointFunc(func(*packet.Packet) {}), 1_000_000_000, 0)
+	eng.At(0, func() {
+		done := l.Send(mkpkt(1472))
+		if !l.Busy(eng.Now()) {
+			t.Error("link should be busy mid-frame")
+		}
+		if l.FreeAt() != done {
+			t.Errorf("FreeAt = %v, want %v", l.FreeAt(), done)
+		}
+	})
+	eng.Run()
+	if l.Busy(eng.Now()) {
+		t.Error("link should be idle after run")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	l := New(eng, EndpointFunc(func(*packet.Packet) {}), 1_000_000_000, 0)
+	eng.At(0, func() {
+		for i := 0; i < 100; i++ {
+			l.Send(mkpkt(1472))
+		}
+	})
+	eng.Run()
+	elapsed := sim.Duration(eng.Now())
+	u := l.Utilization(elapsed)
+	if u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %v, want ~1.0", u)
+	}
+}
+
+func TestTCPHeaderSizes(t *testing.T) {
+	p := &packet.Packet{Proto: packet.ProtoTCP, PayloadBytes: packet.MSS}
+	// 1460 + 20 TCP + 20 IP + 18 eth = 1518 frame.
+	if p.FrameBytes() != 1518 {
+		t.Fatalf("TCP full frame = %d, want 1518", p.FrameBytes())
+	}
+}
+
+func TestRouteConsumption(t *testing.T) {
+	p := mkpkt(100)
+	p.Route = []uint8{3, 7}
+	if got := p.NextRoutePort(); got != 3 {
+		t.Fatalf("hop0 = %d", got)
+	}
+	if got := p.NextRoutePort(); got != 7 {
+		t.Fatalf("hop1 = %d", got)
+	}
+	if got := p.NextRoutePort(); got != -1 {
+		t.Fatalf("exhausted route = %d, want -1", got)
+	}
+}

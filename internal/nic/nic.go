@@ -1,0 +1,200 @@
+// Package nic models the abstract Ethernet NIC of the paper's Figure 4: an
+// Intel 8254x-style device with one TX and one RX descriptor ring,
+// scatter/gather DMA (zero-copy), and interrupt mitigation. The NIC here is
+// the "hardware": it owns the rings and the wire, raises interrupts, and
+// exposes ring operations to the device driver implemented in the simulated
+// kernel (RX/TX interrupt mitigation and the NAPI polling interface live in
+// the driver, as in Linux).
+//
+// Checksum offload is modeled as in the paper: no CPU time is charged for
+// checksums anywhere ("we turn off the packet checksum feature in the Linux
+// kernel to emulate having a hardware checksum offloading engine").
+package nic
+
+import (
+	"fmt"
+
+	"diablo/internal/link"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+// Params configures the device.
+type Params struct {
+	// TxRing and RxRing are the descriptor ring sizes in packets (e1000
+	// defaults are 256/256).
+	TxRing, RxRing int
+
+	// RxITR is the receive interrupt throttle: after an RX interrupt fires,
+	// the next one is delayed until RxITR has elapsed (Intel ITR register).
+	// Zero disables mitigation. Packets arriving while throttled are
+	// batched into the next interrupt.
+	RxITR sim.Duration
+}
+
+// Defaults returns e1000-like defaults: 256-entry rings, light interrupt
+// mitigation.
+func Defaults() Params {
+	return Params{TxRing: 256, RxRing: 256, RxITR: 20 * sim.Microsecond}
+}
+
+// Validate checks the ring sizes.
+func (p Params) Validate() error {
+	if p.TxRing <= 0 || p.RxRing <= 0 {
+		return fmt.Errorf("nic: ring sizes must be positive: %+v", p)
+	}
+	if p.RxITR < 0 {
+		return fmt.Errorf("nic: negative RxITR")
+	}
+	return nil
+}
+
+// Stats counts device-level events.
+type Stats struct {
+	TxPackets  uint64
+	RxPackets  uint64
+	RxOverruns uint64 // frames dropped because the RX ring was full
+	RxIRQs     uint64 // interrupts actually raised
+}
+
+// NIC is one simulated network interface.
+type NIC struct {
+	eng    *sim.Engine
+	params Params
+	wire   *link.Link // egress link to the ToR switch
+
+	txq    []*packet.Packet
+	txBusy bool
+
+	rxq          []*packet.Packet
+	rxIntEnabled bool
+	rxIntPending bool
+	lastRxInt    sim.Time
+
+	// OnRxInterrupt is invoked in "hardware interrupt" context when the
+	// device raises an RX interrupt; the kernel driver converts it into
+	// interrupt-handler work on the CPU.
+	OnRxInterrupt func()
+
+	// OnTxDrain is invoked when a TX descriptor is freed, letting the
+	// driver push queued (qdisc) frames.
+	OnTxDrain func()
+
+	Stats Stats
+}
+
+// New creates a NIC transmitting on wire.
+func New(eng *sim.Engine, params Params, wire *link.Link) (*NIC, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &NIC{
+		eng:          eng,
+		params:       params,
+		wire:         wire,
+		rxIntEnabled: true,
+		lastRxInt:    sim.Time(-1 << 62),
+	}, nil
+}
+
+// Params returns the device configuration.
+func (n *NIC) Params() Params { return n.params }
+
+// Wire returns the egress link.
+func (n *NIC) Wire() *link.Link { return n.wire }
+
+// --- TX path ---------------------------------------------------------------
+
+// TxSpace returns the number of free TX descriptors.
+func (n *NIC) TxSpace() int { return n.params.TxRing - len(n.txq) }
+
+// Transmit places pkt on the TX ring; it returns false if the ring is full
+// (the driver's qdisc must hold the frame). DMA engines then clock frames
+// onto the wire in order.
+func (n *NIC) Transmit(pkt *packet.Packet) bool {
+	if len(n.txq) >= n.params.TxRing {
+		return false
+	}
+	n.txq = append(n.txq, pkt)
+	n.kickTx()
+	return true
+}
+
+func (n *NIC) kickTx() {
+	if n.txBusy || len(n.txq) == 0 {
+		return
+	}
+	pkt := n.txq[0]
+	n.txBusy = true
+	pkt.SentAt = n.eng.Now()
+	txDone := n.wire.Send(pkt)
+	n.eng.At(txDone, func() {
+		n.txq = n.txq[1:]
+		n.txBusy = false
+		n.Stats.TxPackets++
+		if n.OnTxDrain != nil {
+			n.OnTxDrain()
+		}
+		n.kickTx()
+	})
+}
+
+// --- RX path ---------------------------------------------------------------
+
+// Receive implements link.Endpoint: a frame has arrived from the wire.
+func (n *NIC) Receive(pkt *packet.Packet) {
+	if len(n.rxq) >= n.params.RxRing {
+		n.Stats.RxOverruns++
+		return
+	}
+	n.rxq = append(n.rxq, pkt)
+	n.Stats.RxPackets++
+	n.maybeRaiseRxInt()
+}
+
+func (n *NIC) maybeRaiseRxInt() {
+	if !n.rxIntEnabled || n.rxIntPending || len(n.rxq) == 0 {
+		return
+	}
+	now := n.eng.Now()
+	fire := n.lastRxInt.Add(sim.Duration(n.params.RxITR))
+	if fire < now {
+		fire = now
+	}
+	n.rxIntPending = true
+	n.eng.At(fire, func() {
+		n.rxIntPending = false
+		if !n.rxIntEnabled || len(n.rxq) == 0 {
+			return
+		}
+		n.lastRxInt = n.eng.Now()
+		n.Stats.RxIRQs++
+		if n.OnRxInterrupt != nil {
+			n.OnRxInterrupt()
+		}
+	})
+}
+
+// PopRx removes and returns the oldest received frame, or nil if the ring is
+// empty. Called by the driver's NAPI poll loop.
+func (n *NIC) PopRx() *packet.Packet {
+	if len(n.rxq) == 0 {
+		return nil
+	}
+	pkt := n.rxq[0]
+	n.rxq[0] = nil
+	n.rxq = n.rxq[1:]
+	return pkt
+}
+
+// RxPending returns the number of frames waiting in the RX ring.
+func (n *NIC) RxPending() int { return len(n.rxq) }
+
+// SetRxIntEnabled controls RX interrupt delivery (NAPI disables interrupts
+// while polling). Re-enabling checks for frames that arrived while polling.
+func (n *NIC) SetRxIntEnabled(on bool) {
+	n.rxIntEnabled = on
+	if on {
+		n.maybeRaiseRxInt()
+	}
+}

@@ -1,0 +1,197 @@
+// Package packet defines the on-the-wire unit exchanged by DIABLO's NIC and
+// switch models: an abstract Ethernet frame with a pre-computed source route
+// (the paper's "simplified source routing", §3.3), transport headers, and a
+// logical payload reference.
+//
+// Payload bytes are accounted for in timing but never materialized: a packet
+// carries the byte counts that determine serialization and buffering, plus an
+// opaque reference the endpoints use to reconstruct application messages.
+// This mirrors DIABLO, where the functional model moved real bytes but the
+// experiments only observe timing and sizes.
+package packet
+
+import (
+	"fmt"
+
+	"diablo/internal/sim"
+)
+
+// NodeID identifies a simulated server within a cluster.
+type NodeID int32
+
+// Port is a transport-layer port number.
+type Port uint16
+
+// Addr is a transport address: a node and a port.
+type Addr struct {
+	Node NodeID
+	Port Port
+}
+
+// String renders the address as node:port.
+func (a Addr) String() string { return fmt.Sprintf("n%d:%d", a.Node, a.Port) }
+
+// Proto selects the transport protocol carried in the frame.
+type Proto uint8
+
+// Transport protocols understood by the simulated stack.
+const (
+	ProtoUDP Proto = iota
+	ProtoTCP
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoUDP:
+		return "udp"
+	case ProtoTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Framing and header sizes in bytes. EthOverhead includes preamble/SFD (8)
+// and minimum inter-frame gap (12) because both consume link time, plus the
+// 14-byte header and 4-byte FCS.
+const (
+	EthHeader   = 14
+	EthFCS      = 4
+	EthPreamble = 8
+	EthIFG      = 12
+	EthOverhead = EthHeader + EthFCS + EthPreamble + EthIFG // 38
+
+	IPHeader  = 20
+	UDPHeader = 8
+	TCPHeader = 20
+
+	// MTU is the maximum IP datagram size (payload of an Ethernet frame).
+	MTU = 1500
+	// MSS is the maximum TCP segment payload.
+	MSS = MTU - IPHeader - TCPHeader // 1460
+	// MaxUDPPayload is the largest unfragmented UDP payload we model.
+	MaxUDPPayload = MTU - IPHeader - UDPHeader // 1472
+	// MinFrame is the minimum Ethernet frame size (without preamble/IFG).
+	MinFrame = 64
+)
+
+// TCPFlags are TCP header control bits.
+type TCPFlags uint8
+
+// TCP control bits used by the simulated stack.
+const (
+	FlagSYN TCPFlags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+func (f TCPFlags) String() string {
+	s := ""
+	if f&FlagSYN != 0 {
+		s += "S"
+	}
+	if f&FlagACK != 0 {
+		s += "A"
+	}
+	if f&FlagFIN != 0 {
+		s += "F"
+	}
+	if f&FlagRST != 0 {
+		s += "R"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// TCPHdr is the simulated TCP header.
+type TCPHdr struct {
+	Flags  TCPFlags
+	Seq    uint32 // first payload byte's sequence number
+	Ack    uint32 // cumulative acknowledgement
+	Window uint32 // advertised receive window in bytes
+}
+
+// Packet is one simulated frame in flight.
+type Packet struct {
+	Src, Dst Addr
+	Proto    Proto
+
+	// Route is the source route: Route[i] is the egress port index at the
+	// i-th switch on the path. Hop is the index of the next switch to
+	// consume a route entry.
+	Route []uint8
+	Hop   int
+
+	// PayloadBytes is the transport payload length. The full wire size is
+	// derived, not stored (see WireBytes).
+	PayloadBytes int
+
+	// TCP holds TCP header fields when Proto == ProtoTCP.
+	TCP TCPHdr
+
+	// Payload is an opaque application reference (e.g. a request object)
+	// used by endpoints to reconstruct messages without simulating bytes.
+	Payload any
+
+	// Instrumentation.
+	SentAt sim.Time // when the first bit left the source NIC
+	// FirstBitArrival is maintained by links: the time the leading bit of
+	// this frame arrived at the current endpoint. Switch cut-through uses it.
+	FirstBitArrival sim.Time
+}
+
+// headerBytes returns transport+IP header bytes for the packet's protocol.
+func (p *Packet) headerBytes() int {
+	switch p.Proto {
+	case ProtoUDP:
+		return IPHeader + UDPHeader
+	case ProtoTCP:
+		return IPHeader + TCPHeader
+	default:
+		return IPHeader
+	}
+}
+
+// FrameBytes returns the Ethernet frame size (header+FCS, no preamble/IFG),
+// clamped to the 64-byte minimum frame.
+func (p *Packet) FrameBytes() int {
+	n := EthHeader + EthFCS + p.headerBytes() + p.PayloadBytes
+	if n < MinFrame {
+		n = MinFrame
+	}
+	return n
+}
+
+// WireBytes returns the bytes of link time the frame consumes, including
+// preamble and inter-frame gap. This is what serialization and switch buffer
+// accounting use.
+func (p *Packet) WireBytes() int {
+	return p.FrameBytes() + EthPreamble + EthIFG
+}
+
+// BufferBytes returns the bytes the frame occupies in a switch packet
+// buffer (the stored frame, without preamble/IFG).
+func (p *Packet) BufferBytes() int { return p.FrameBytes() }
+
+// NextRoutePort consumes and returns the egress port for the current switch
+// hop. It returns -1 if the route is exhausted (a routing bug).
+func (p *Packet) NextRoutePort() int {
+	if p.Hop >= len(p.Route) {
+		return -1
+	}
+	port := int(p.Route[p.Hop])
+	p.Hop++
+	return port
+}
+
+// String renders a compact description for traces.
+func (p *Packet) String() string {
+	if p.Proto == ProtoTCP {
+		return fmt.Sprintf("%v>%v tcp[%v seq=%d ack=%d] %dB",
+			p.Src, p.Dst, p.TCP.Flags, p.TCP.Seq, p.TCP.Ack, p.PayloadBytes)
+	}
+	return fmt.Sprintf("%v>%v %v %dB", p.Src, p.Dst, p.Proto, p.PayloadBytes)
+}

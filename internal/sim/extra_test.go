@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.At(Time(Microsecond), func() { fired = append(fired, 1) })
+	id := e.At(Time(2*Microsecond), func() { fired = append(fired, 2) })
+	e.At(Time(3*Microsecond), func() { fired = append(fired, 3) })
+	e.Cancel(id)
+
+	if !e.Step() {
+		t.Fatal("first step found nothing")
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if !e.Step() {
+		t.Fatal("second step found nothing")
+	}
+	if len(fired) != 2 || fired[1] != 3 {
+		t.Fatalf("cancelled event executed: %v", fired)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue reported work")
+	}
+}
+
+func TestNextEventTimeSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	id := e.At(Time(Microsecond), func() {})
+	e.At(Time(5*Microsecond), func() {})
+	e.Cancel(id)
+	if got := e.NextEventTime(); got != Time(5*Microsecond) {
+		t.Fatalf("next event = %v, want 5us", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after lazily dropping cancelled head", e.Pending())
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i)*Time(Microsecond), func() {})
+	}
+	e.Run()
+	p := e.Progress()
+	if p.Executed != 5 || p.Now != Time(4*Microsecond) {
+		t.Fatalf("progress = %+v", p)
+	}
+}
+
+func TestHaltFreezesClock(t *testing.T) {
+	e := NewEngine()
+	e.At(Time(Microsecond), func() { e.Halt() })
+	e.At(Time(Second), func() {})
+	e.RunUntil(Time(2 * Second))
+	if e.Now() != Time(Microsecond) {
+		t.Fatalf("halted clock at %v, want 1us", e.Now())
+	}
+}
+
+func TestStdConversions(t *testing.T) {
+	d := 1500 * Nanosecond
+	if d.Std() != 1500*time.Nanosecond {
+		t.Fatalf("Std = %v", d.Std())
+	}
+	if FromStd(2*time.Microsecond) != 2*Microsecond {
+		t.Fatalf("FromStd = %v", FromStd(2*time.Microsecond))
+	}
+}
+
+func TestRandNormal(t *testing.T) {
+	r := NewRand(21)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if variance < 3.6 || variance > 4.4 {
+		t.Fatalf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	a := NewRand(5)
+	child1 := a.Fork("x")
+	b := NewRand(5)
+	child2 := b.Fork("x")
+	for i := 0; i < 100; i++ {
+		if child1.Uint64() != child2.Uint64() {
+			t.Fatal("forks of identical parents diverged")
+		}
+	}
+	c := NewRand(5)
+	other := c.Fork("y")
+	if other.Uint64() == NewRand(5).Fork("x").Uint64() {
+		t.Fatal("differently labeled forks should differ")
+	}
+}

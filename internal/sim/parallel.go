@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ParallelEngine runs several Engines (partitions) concurrently under
+// conservative quantum-barrier synchronization. It mirrors DIABLO's physical
+// organization: each FPGA ran its own simulation scheduler and synchronized
+// with its neighbours over serial links at a granularity bounded by the
+// target link latency. Here a partition is typically one simulated rack, the
+// quantum is the minimum latency of any inter-partition link, and
+// cross-partition packets are exchanged only at barriers.
+//
+// Determinism: each partition's engine is deterministic on its own, and
+// cross-partition messages are merged in (time, source partition, send
+// sequence) order before being scheduled, so a parallel run produces results
+// identical to a sequential run of the same model (asserted in tests).
+type ParallelEngine struct {
+	parts    []*partition
+	quantum  Duration
+	now      Time
+	workers  int
+	barrier  sync.WaitGroup
+	Executed uint64
+}
+
+type partition struct {
+	id      int
+	engine  *Engine
+	outbox  []xmsg
+	sendSeq uint64
+}
+
+// xmsg is a cross-partition message: run fn on partition dst at time at.
+type xmsg struct {
+	at  Time
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// NewParallelEngine creates an engine with n partitions synchronized every
+// quantum of simulated time. quantum must be at most the minimum latency of
+// any cross-partition interaction in the model, or causality would break;
+// the Send method enforces this at runtime.
+func NewParallelEngine(n int, quantum Duration) *ParallelEngine {
+	if n <= 0 {
+		panic("sim: need at least one partition")
+	}
+	if quantum <= 0 {
+		panic("sim: quantum must be positive")
+	}
+	pe := &ParallelEngine{quantum: quantum, workers: n}
+	for i := 0; i < n; i++ {
+		pe.parts = append(pe.parts, &partition{id: i, engine: NewEngine()})
+	}
+	return pe
+}
+
+// Partition returns the engine for partition i. Model components in
+// partition i must schedule all their local events on this engine.
+func (pe *ParallelEngine) Partition(i int) *Engine { return pe.parts[i].engine }
+
+// Partitions returns the number of partitions.
+func (pe *ParallelEngine) Partitions() int { return len(pe.parts) }
+
+// Now returns the last completed barrier time.
+func (pe *ParallelEngine) Now() Time { return pe.now }
+
+// Send delivers fn to partition dst at absolute time at. It must be called
+// from within partition src (i.e., from an event callback running on
+// partition src's engine). at must be at least one quantum in the future
+// relative to the current quantum's end; this is the conservative-lookahead
+// requirement.
+func (pe *ParallelEngine) Send(src, dst int, at Time, fn func()) {
+	p := pe.parts[src]
+	qEnd := pe.now.Add(pe.quantum)
+	if at < qEnd {
+		panic(fmt.Sprintf("sim: cross-partition send at %v violates lookahead (quantum ends %v)", at, qEnd))
+	}
+	p.sendSeq++
+	p.outbox = append(p.outbox, xmsg{at: at, src: src, seq: p.sendSeq, dst: dst, fn: fn})
+}
+
+// RunUntil advances all partitions to the deadline, one quantum at a time.
+func (pe *ParallelEngine) RunUntil(deadline Time) {
+	for pe.now < deadline {
+		qEnd := pe.now.Add(pe.quantum)
+		if qEnd > deadline {
+			qEnd = deadline
+		}
+		// Skip ahead over quiet periods: if no partition has an event before
+		// qEnd and no messages are in flight, jump to the earliest event.
+		earliest := Never
+		for _, p := range pe.parts {
+			if t := p.engine.NextEventTime(); t < earliest {
+				earliest = t
+			}
+		}
+		if earliest == Never {
+			pe.now = deadline
+			break
+		}
+		if earliest >= qEnd {
+			// Align the jump to a quantum boundary containing the event.
+			n := Duration(earliest-pe.now) / pe.quantum
+			pe.now = pe.now.Add(n * pe.quantum)
+			qEnd = pe.now.Add(pe.quantum)
+			if qEnd > deadline {
+				qEnd = deadline
+			}
+		}
+
+		// Run every partition up to the quantum boundary, in parallel.
+		if len(pe.parts) == 1 {
+			pe.parts[0].engine.RunUntil(qEnd)
+		} else {
+			pe.barrier.Add(len(pe.parts))
+			for _, p := range pe.parts {
+				go func(p *partition) {
+					defer pe.barrier.Done()
+					p.engine.RunUntil(qEnd)
+				}(p)
+			}
+			pe.barrier.Wait()
+		}
+		pe.now = qEnd
+
+		// Exchange cross-partition messages deterministically.
+		var pending []xmsg
+		for _, p := range pe.parts {
+			pending = append(pending, p.outbox...)
+			p.outbox = p.outbox[:0]
+		}
+		sort.Slice(pending, func(i, j int) bool {
+			a, b := pending[i], pending[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		for _, m := range pending {
+			pe.parts[m.dst].engine.At(m.at, m.fn)
+		}
+	}
+	pe.Executed = 0
+	for _, p := range pe.parts {
+		pe.Executed += p.engine.Executed
+	}
+}
+
+// Drained reports whether every partition's queue is empty.
+func (pe *ParallelEngine) Drained() bool {
+	for _, p := range pe.parts {
+		if p.engine.NextEventTime() != Never {
+			return false
+		}
+		if len(p.outbox) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+)
+
+// pingModel is a tiny two-partition model: nodes exchange timestamped pings
+// over a "link" with fixed latency. It exists to validate that the parallel
+// engine produces results identical to a sequential execution.
+type pingRecord struct {
+	part int
+	at   Time
+	hop  int
+}
+
+func runSequentialPing(latency Duration, hops int) []pingRecord {
+	e := NewEngine()
+	var log []pingRecord
+	var send func(part, hop int)
+	send = func(part, hop int) {
+		log = append(log, pingRecord{part, e.Now(), hop})
+		if hop >= hops {
+			return
+		}
+		next := 1 - part
+		e.After(latency, func() { send(next, hop+1) })
+	}
+	e.At(0, func() { send(0, 0) })
+	e.Run()
+	return log
+}
+
+func runParallelPing(latency Duration, hops int) []pingRecord {
+	pe := NewParallelEngine(2, latency)
+	var log []pingRecord
+	var send func(part, hop int)
+	send = func(part, hop int) {
+		eng := pe.Partition(part)
+		log = append(log, pingRecord{part, eng.Now(), hop})
+		if hop >= hops {
+			return
+		}
+		next := 1 - part
+		pe.Send(part, next, eng.Now().Add(latency), func() { send(next, hop+1) })
+	}
+	pe.Partition(0).At(0, func() { send(0, 0) })
+	pe.RunUntil(Time(Duration(hops+2) * latency))
+	return log
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	latency := 2 * Microsecond
+	const hops = 50
+	seq := runSequentialPing(latency, hops)
+	par := runParallelPing(latency, hops)
+	if len(seq) != len(par) {
+		t.Fatalf("event counts differ: seq=%d par=%d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("event %d differs: seq=%+v par=%+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	pe := NewParallelEngine(2, Microsecond)
+	pe.Partition(0).At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("lookahead violation did not panic")
+			}
+		}()
+		// Sending at now (inside the current quantum) must panic.
+		pe.Send(0, 1, pe.Partition(0).Now(), func() {})
+	})
+	pe.RunUntil(Time(10 * Microsecond))
+}
+
+func TestParallelQuietSkip(t *testing.T) {
+	// A model with one distant event should not require iterating every
+	// quantum: the engine skips quiet periods. We just check it terminates
+	// and fires the event at the right time.
+	pe := NewParallelEngine(4, Nanosecond)
+	fired := Time(-1)
+	pe.Partition(2).At(Time(Second), func() { fired = pe.Partition(2).Now() })
+	pe.RunUntil(Time(2 * Second))
+	if fired != Time(Second) {
+		t.Fatalf("fired at %v, want 1s", fired)
+	}
+}
+
+func TestParallelDrained(t *testing.T) {
+	pe := NewParallelEngine(2, Microsecond)
+	if !pe.Drained() {
+		t.Fatal("fresh engine not drained")
+	}
+	pe.Partition(0).At(Time(Microsecond), func() {})
+	if pe.Drained() {
+		t.Fatal("engine with pending event reported drained")
+	}
+	pe.RunUntil(Time(2 * Microsecond))
+	if !pe.Drained() {
+		t.Fatal("engine not drained after run")
+	}
+}
+
+func TestParallelManyPartitionsDeterministic(t *testing.T) {
+	// All partitions send to partition 0 at the same time; merged order must
+	// be by source partition id, and repeatable.
+	run := func() []int {
+		pe := NewParallelEngine(8, Microsecond)
+		var order []int
+		for p := 1; p < 8; p++ {
+			p := p
+			pe.Partition(p).At(0, func() {
+				pe.Send(p, 0, Time(Microsecond), func() { order = append(order, p) })
+			})
+		}
+		pe.RunUntil(Time(5 * Microsecond))
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("lost messages: %v %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic merge: %v vs %v", a, b)
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("merge not ordered by source: %v", a)
+		}
+	}
+}

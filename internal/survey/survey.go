@@ -1,0 +1,127 @@
+// Package survey embeds the paper's motivation data: the sizes of physical
+// testbeds used by datacenter-networking papers in SIGCOMM 2008–2013
+// (Figure 2) and the workload types those papers evaluated with (Table 1).
+// The per-paper points are reconstructed to match the published aggregate
+// statistics: a median of 16 servers and 6 switches across 21 papers, with
+// 16 microbenchmark, 3 trace and 2 application workloads.
+package survey
+
+import (
+	"fmt"
+	"sort"
+
+	"diablo/internal/metrics"
+)
+
+// Workload classifies a paper's evaluation workload (Table 1).
+type Workload string
+
+// Workload classes.
+const (
+	Microbenchmark Workload = "microbenchmark"
+	Trace          Workload = "trace"
+	Application    Workload = "application"
+)
+
+// Testbed is one surveyed paper's physical evaluation platform.
+type Testbed struct {
+	Year     int
+	System   string
+	Servers  int
+	Switches int
+	Workload Workload
+}
+
+// Papers returns the surveyed SIGCOMM 2008–2013 testbeds.
+func Papers() []Testbed {
+	return []Testbed{
+		{2008, "Policy-aware switching", 10, 4, Microbenchmark},
+		{2008, "DCN scaling study", 16, 6, Microbenchmark},
+		{2009, "VL2", 80, 10, Trace},
+		{2009, "BCube", 16, 8, Microbenchmark},
+		{2009, "PortLand", 20, 20, Microbenchmark},
+		{2009, "Safe fine-grained TCP", 48, 1, Microbenchmark},
+		{2010, "c-Through", 16, 4, Application},
+		{2010, "Hedera", 16, 20, Microbenchmark},
+		{2010, "Data center TCP", 94, 6, Trace},
+		{2011, "Orchestra", 30, 1, Application},
+		{2011, "MPTCP datacenter", 12, 7, Microbenchmark},
+		{2011, "NetLord", 74, 6, Microbenchmark},
+		{2012, "Deadline-aware DCN", 19, 5, Microbenchmark},
+		{2012, "FairCloud", 12, 3, Microbenchmark},
+		{2012, "DeTail", 36, 9, Microbenchmark},
+		{2012, "Finishing flows quickly", 16, 1, Microbenchmark},
+		{2013, "pFabric", 3, 1, Microbenchmark},
+		{2013, "Bandwidth guarantees", 14, 5, Microbenchmark},
+		{2013, "zUpdate", 22, 14, Microbenchmark},
+		{2013, "Flow scheduling", 16, 6, Trace},
+		{2013, "Per-packet load balancing", 8, 2, Microbenchmark},
+	}
+}
+
+// median returns the median of xs.
+func median(xs []int) int {
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MedianServers returns the survey's headline number (16).
+func MedianServers() int {
+	var xs []int
+	for _, p := range Papers() {
+		xs = append(xs, p.Servers)
+	}
+	return median(xs)
+}
+
+// MedianSwitches returns the survey's switch median (6).
+func MedianSwitches() int {
+	var xs []int
+	for _, p := range Papers() {
+		xs = append(xs, p.Switches)
+	}
+	return median(xs)
+}
+
+// WorkloadCounts returns the Table 1 histogram.
+func WorkloadCounts() map[Workload]int {
+	counts := make(map[Workload]int)
+	for _, p := range Papers() {
+		counts[p.Workload]++
+	}
+	return counts
+}
+
+// Figure2 renders the testbed-size scatter as a series (servers on X,
+// switches on Y, one point per paper).
+func Figure2() *metrics.Series {
+	s := &metrics.Series{
+		Name:   "Figure 2: physical testbed sizes in SIGCOMM 2008-2013",
+		XLabel: "servers",
+		YLabel: "switches",
+	}
+	for _, p := range Papers() {
+		s.Append(float64(p.Servers), float64(p.Switches))
+	}
+	return s
+}
+
+// Table1 renders Table 1.
+func Table1() *metrics.Table {
+	tb := &metrics.Table{
+		Title:   "Table 1: Workload in recent SIGCOMM papers",
+		Columns: []string{"Types", "Microbenchmark", "Trace", "Application"},
+	}
+	c := WorkloadCounts()
+	tb.AddRow("Number of Papers",
+		fmt.Sprint(c[Microbenchmark]), fmt.Sprint(c[Trace]), fmt.Sprint(c[Application]))
+	return tb
+}

@@ -1,0 +1,43 @@
+package survey
+
+import "testing"
+
+func TestPublishedAggregates(t *testing.T) {
+	// The paper: "the median size of physical testbeds contained only 16
+	// servers and 6 switches".
+	if m := MedianServers(); m != 16 {
+		t.Fatalf("median servers = %d, want 16", m)
+	}
+	if m := MedianSwitches(); m != 6 {
+		t.Fatalf("median switches = %d, want 6", m)
+	}
+}
+
+func TestTable1Counts(t *testing.T) {
+	c := WorkloadCounts()
+	if c[Microbenchmark] != 16 || c[Trace] != 3 || c[Application] != 2 {
+		t.Fatalf("workload counts = %v, want 16/3/2", c)
+	}
+}
+
+func TestScaleGap(t *testing.T) {
+	// Every surveyed testbed is at least an order of magnitude below the
+	// paper's 1,984-node DIABLO runs.
+	for _, p := range Papers() {
+		if p.Servers > 198 {
+			t.Fatalf("%s has %d servers; survey claim of O(100) max violated", p.System, p.Servers)
+		}
+		if p.Servers <= 0 || p.Switches <= 0 {
+			t.Fatalf("%s has degenerate size", p.System)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	if Figure2().Len() != len(Papers()) {
+		t.Fatal("figure 2 point count mismatch")
+	}
+	if Table1().String() == "" {
+		t.Fatal("table 1 render empty")
+	}
+}

@@ -1,0 +1,162 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diablo/internal/packet"
+)
+
+func paper() *Topology {
+	t, err := New(Params{ServersPerRack: 31, RacksPerArray: 16, Arrays: 4})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestSizes(t *testing.T) {
+	tp := paper()
+	if tp.Servers() != 1984 {
+		t.Fatalf("servers = %d, want 1984 (the paper's 2000-node setup)", tp.Servers())
+	}
+	if tp.Racks() != 64 || tp.Arrays() != 4 {
+		t.Fatalf("racks=%d arrays=%d", tp.Racks(), tp.Arrays())
+	}
+	if !tp.MultiRack() || !tp.MultiArray() {
+		t.Fatal("paper topology must be multi-rack and multi-array")
+	}
+}
+
+func TestNodeMappingRoundTrip(t *testing.T) {
+	tp := paper()
+	f := func(raw uint16) bool {
+		n := packet.NodeID(int(raw) % tp.Servers())
+		rack, idx := tp.RackOf(n), tp.IndexInRack(n)
+		return tp.Node(rack, idx) == n && idx < tp.Params().ServersPerRack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopClassification(t *testing.T) {
+	tp := paper()
+	cases := []struct {
+		src, dst packet.NodeID
+		want     HopClass
+		switches int
+	}{
+		{0, 1, Local, 1},
+		{0, 30, Local, 1},
+		{0, 31, OneHop, 3},            // next rack, same array
+		{0, 31*15 + 3, OneHop, 3},     // last rack of array 0
+		{0, 31 * 16, TwoHop, 5},       // first node of array 1
+		{100, 1900, TwoHop, 5},        // array 0 -> array 3
+		{31 * 17, 31 * 18, OneHop, 3}, // within array 1
+	}
+	for _, c := range cases {
+		if got := tp.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+		if got := tp.SwitchCount(c.src, c.dst); got != c.switches {
+			t.Errorf("SwitchCount(%d,%d) = %d, want %d", c.src, c.dst, got, c.switches)
+		}
+	}
+}
+
+func TestRouteShapes(t *testing.T) {
+	tp := paper()
+	// Local: one entry, the destination's ToR port.
+	r := tp.Route(0, 5)
+	if len(r) != 1 || r[0] != 5 {
+		t.Fatalf("local route = %v", r)
+	}
+	// Same array: up, rack-in-array, server.
+	r = tp.Route(0, tp.Node(3, 7))
+	if len(r) != 3 || r[0] != 31 || r[1] != 3 || r[2] != 7 {
+		t.Fatalf("one-hop route = %v", r)
+	}
+	// Cross array: up, up, array, rack-in-array, server.
+	r = tp.Route(0, tp.Node(16*2+5, 9))
+	want := []uint8{31, 16, 2, 5, 9}
+	if len(r) != 5 {
+		t.Fatalf("two-hop route = %v", r)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("two-hop route = %v, want %v", r, want)
+		}
+	}
+}
+
+// Property: every route's length matches the hop class, every port index is
+// within the port count of the switch that consumes it.
+func TestRouteProperty(t *testing.T) {
+	tp := paper()
+	p := tp.Params()
+	f := func(a, b uint16) bool {
+		src := packet.NodeID(int(a) % tp.Servers())
+		dst := packet.NodeID(int(b) % tp.Servers())
+		r := tp.Route(src, dst)
+		switch tp.Hops(src, dst) {
+		case Local:
+			return len(r) == 1 && int(r[0]) < p.ServersPerRack
+		case OneHop:
+			return len(r) == 3 &&
+				int(r[0]) == p.ServersPerRack &&
+				int(r[1]) < p.RacksPerArray &&
+				int(r[2]) < p.ServersPerRack
+		default:
+			return len(r) == 5 &&
+				int(r[0]) == p.ServersPerRack &&
+				int(r[1]) == p.RacksPerArray &&
+				int(r[2]) < p.Arrays &&
+				int(r[3]) < p.RacksPerArray &&
+				int(r[4]) < p.ServersPerRack
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRack(t *testing.T) {
+	tp, err := SingleRack(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Servers() != 24 || tp.MultiRack() || tp.MultiArray() {
+		t.Fatalf("single rack wrong shape: %v", tp)
+	}
+	r := tp.Route(3, 17)
+	if len(r) != 1 || r[0] != 17 {
+		t.Fatalf("route = %v", r)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+		{300, 1, 1},
+		{1, 300, 1},
+		{1, 1, 300},
+	}
+	for _, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Fatalf("params %+v should not validate", p)
+		}
+	}
+}
+
+func TestRoutePanicsOutOfRange(t *testing.T) {
+	tp := paper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range node")
+		}
+	}()
+	tp.Route(0, packet.NodeID(tp.Servers()))
+}

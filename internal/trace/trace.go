@@ -1,0 +1,203 @@
+// Package trace provides DIABLO's instrumentation layer (§1: "unlike real
+// hardware, DIABLO is fully parameterizable and fully instrumented"): a
+// packet tracer that can be attached to any link or switch, an event log
+// with bounded memory, and text rendering in a tcpdump-like format.
+//
+// Tracing is pull-based and zero-cost when disabled: components expose
+// hooks (link delivery, switch drops) and the tracer subscribes to them.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindDeliver Kind = iota // frame delivered to an endpoint
+	KindDrop                // frame dropped at a switch
+	KindCustom              // user annotation
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDeliver:
+		return "deliver"
+	case KindDrop:
+		return "drop"
+	default:
+		return "note"
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Where string // component label ("tor-3", "nic-17", ...)
+	Pkt   packet.Packet
+	Note  string
+}
+
+// String renders the event tcpdump-style.
+func (e Event) String() string {
+	if e.Kind == KindCustom {
+		return fmt.Sprintf("%-12v %-10s %s", e.At, e.Where, e.Note)
+	}
+	return fmt.Sprintf("%-12v %-10s %-8v %v", e.At, e.Where, e.Kind, (&e.Pkt).String())
+}
+
+// Filter selects which packets to record; nil records everything.
+type Filter func(*packet.Packet) bool
+
+// FilterNode records only packets touching node n.
+func FilterNode(n packet.NodeID) Filter {
+	return func(p *packet.Packet) bool { return p.Src.Node == n || p.Dst.Node == n }
+}
+
+// FilterProto records only one transport.
+func FilterProto(proto packet.Proto) Filter {
+	return func(p *packet.Packet) bool { return p.Proto == proto }
+}
+
+// FilterFlow records one 4-tuple in either direction.
+func FilterFlow(a, b packet.Addr) Filter {
+	return func(p *packet.Packet) bool {
+		return (p.Src == a && p.Dst == b) || (p.Src == b && p.Dst == a)
+	}
+}
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	return func(p *packet.Packet) bool {
+		for _, f := range fs {
+			if f != nil && !f(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Tracer is a bounded-memory event recorder. The zero value is unusable;
+// use New.
+type Tracer struct {
+	clock  func() sim.Time
+	filter Filter
+	ring   []Event
+	next   int
+	full   bool
+	// Dropped counts events lost to the ring bound.
+	Dropped uint64
+}
+
+// New creates a tracer holding up to capacity events (ring buffer) reading
+// timestamps from clock.
+func New(clock func() sim.Time, capacity int, filter Filter) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{clock: clock, filter: filter, ring: make([]Event, 0, capacity)}
+}
+
+// record appends to the ring.
+func (t *Tracer) record(e Event) {
+	if cap(t.ring) == len(t.ring) {
+		// Overwrite the oldest.
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % cap(t.ring)
+		t.full = true
+		t.Dropped++
+		return
+	}
+	t.ring = append(t.ring, e)
+}
+
+// Packet records a packet event if it passes the filter. The packet is
+// copied so later mutation (route consumption) does not alter history.
+func (t *Tracer) Packet(kind Kind, where string, pkt *packet.Packet) {
+	if t.filter != nil && !t.filter(pkt) {
+		return
+	}
+	t.record(Event{At: t.clock(), Kind: kind, Where: where, Pkt: *pkt})
+}
+
+// Note records a custom annotation (not filtered).
+func (t *Tracer) Note(where, format string, args ...any) {
+	t.record(Event{At: t.clock(), Kind: KindCustom, Where: where, Note: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in chronological order.
+func (t *Tracer) Events() []Event {
+	if !t.full {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Len returns the recorded event count.
+func (t *Tracer) Len() int { return len(t.ring) }
+
+// String renders the whole trace.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DeliverHook adapts the tracer to a link.Endpoint wrapper: it records the
+// frame and forwards to next.
+func (t *Tracer) DeliverHook(where string, next func(*packet.Packet)) func(*packet.Packet) {
+	return func(p *packet.Packet) {
+		t.Packet(KindDeliver, where, p)
+		next(p)
+	}
+}
+
+// DropHook adapts the tracer to vswitch.Switch.OnDrop.
+func (t *Tracer) DropHook(where string) func(in int, pkt *packet.Packet) {
+	return func(in int, pkt *packet.Packet) {
+		t.Packet(KindDrop, fmt.Sprintf("%s/in%d", where, in), pkt)
+	}
+}
+
+// FlowStats summarizes one direction of traffic seen by the tracer.
+type FlowStats struct {
+	Packets uint64
+	Bytes   uint64
+	Drops   uint64
+}
+
+// Summarize aggregates the trace per (src node -> dst node) pair.
+func (t *Tracer) Summarize() map[[2]packet.NodeID]FlowStats {
+	out := make(map[[2]packet.NodeID]FlowStats)
+	for _, e := range t.Events() {
+		if e.Kind == KindCustom {
+			continue
+		}
+		key := [2]packet.NodeID{e.Pkt.Src.Node, e.Pkt.Dst.Node}
+		s := out[key]
+		if e.Kind == KindDrop {
+			s.Drops++
+		} else {
+			s.Packets++
+			s.Bytes += uint64(e.Pkt.PayloadBytes)
+		}
+		out[key] = s
+	}
+	return out
+}

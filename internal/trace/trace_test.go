@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+func clockAt(t *sim.Time) func() sim.Time { return func() sim.Time { return *t } }
+
+func mkpkt(src, dst packet.NodeID, proto packet.Proto, n int) *packet.Packet {
+	return &packet.Packet{
+		Src:          packet.Addr{Node: src, Port: 1000},
+		Dst:          packet.Addr{Node: dst, Port: 80},
+		Proto:        proto,
+		PayloadBytes: n,
+	}
+}
+
+func TestRecordAndRender(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(clockAt(&now), 16, nil)
+	tr.Packet(KindDeliver, "tor-0", mkpkt(1, 2, packet.ProtoUDP, 100))
+	now = sim.Time(sim.Microsecond)
+	tr.Packet(KindDrop, "tor-0", mkpkt(2, 1, packet.ProtoTCP, 1460))
+	tr.Note("test", "iteration %d done", 3)
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	out := tr.String()
+	for _, want := range []string{"deliver", "drop", "iteration 3 done", "n1:1000>n2:80"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(clockAt(&now), 4, nil)
+	for i := 0; i < 10; i++ {
+		now = sim.Time(i) * sim.Time(sim.Microsecond)
+		tr.Packet(KindDeliver, "x", mkpkt(packet.NodeID(i), 0, packet.ProtoUDP, 1))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	if tr.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped)
+	}
+	// Chronological: the last four events (6..9).
+	for i, e := range evs {
+		if e.Pkt.Src.Node != packet.NodeID(6+i) {
+			t.Fatalf("event %d from node %d, want %d", i, e.Pkt.Src.Node, 6+i)
+		}
+		if i > 0 && evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	now := sim.Time(0)
+	f := And(FilterNode(5), FilterProto(packet.ProtoTCP))
+	tr := New(clockAt(&now), 16, f)
+	tr.Packet(KindDeliver, "x", mkpkt(5, 2, packet.ProtoTCP, 1)) // pass
+	tr.Packet(KindDeliver, "x", mkpkt(2, 5, packet.ProtoTCP, 1)) // pass
+	tr.Packet(KindDeliver, "x", mkpkt(5, 2, packet.ProtoUDP, 1)) // wrong proto
+	tr.Packet(KindDeliver, "x", mkpkt(1, 2, packet.ProtoTCP, 1)) // wrong node
+	if tr.Len() != 2 {
+		t.Fatalf("filtered len = %d, want 2", tr.Len())
+	}
+	// Notes bypass the filter.
+	tr.Note("x", "hello")
+	if tr.Len() != 3 {
+		t.Fatal("note was filtered")
+	}
+}
+
+func TestFilterFlow(t *testing.T) {
+	a := packet.Addr{Node: 1, Port: 1000}
+	b := packet.Addr{Node: 2, Port: 80}
+	f := FilterFlow(a, b)
+	fwd := &packet.Packet{Src: a, Dst: b}
+	rev := &packet.Packet{Src: b, Dst: a}
+	other := &packet.Packet{Src: a, Dst: packet.Addr{Node: 2, Port: 81}}
+	if !f(fwd) || !f(rev) {
+		t.Fatal("flow filter rejected its flow")
+	}
+	if f(other) {
+		t.Fatal("flow filter accepted another flow")
+	}
+}
+
+func TestHooksAndSummarize(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(clockAt(&now), 64, nil)
+	delivered := 0
+	hook := tr.DeliverHook("nic-2", func(*packet.Packet) { delivered++ })
+	for i := 0; i < 5; i++ {
+		hook(mkpkt(1, 2, packet.ProtoUDP, 100))
+	}
+	drop := tr.DropHook("tor-0")
+	drop(3, mkpkt(1, 2, packet.ProtoUDP, 100))
+	if delivered != 5 {
+		t.Fatalf("hook did not forward: %d", delivered)
+	}
+	sum := tr.Summarize()
+	s := sum[[2]packet.NodeID{1, 2}]
+	if s.Packets != 5 || s.Bytes != 500 || s.Drops != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPacketCopySemantics(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(clockAt(&now), 8, nil)
+	p := mkpkt(1, 2, packet.ProtoUDP, 9)
+	p.Route = []uint8{7}
+	tr.Packet(KindDeliver, "x", p)
+	p.Src.Node = 99 // later mutation must not alter history
+	if tr.Events()[0].Pkt.Src.Node != 1 {
+		t.Fatal("trace aliased the live packet")
+	}
+}

@@ -1,0 +1,282 @@
+package vswitch
+
+import (
+	"fmt"
+
+	"diablo/internal/link"
+	"diablo/internal/metrics"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+// Stats aggregates switch-level counters.
+type Stats struct {
+	Forwarded    metrics.Counter
+	Dropped      metrics.Counter
+	RouteErrors  uint64
+	PeakOccupied int // peak buffered bytes (whole switch)
+	// DropsByInput attributes drops to the ingress port whose buffer (or
+	// pool admission) rejected the frame.
+	DropsByInput []uint64
+}
+
+// qpkt is a buffered packet with its forwarding-eligibility time.
+type qpkt struct {
+	pkt      *packet.Packet
+	eligible sim.Time
+	bytes    int
+	input    int
+}
+
+// outPort is the egress side of one switch port.
+type outPort struct {
+	link     *link.Link
+	occupied int // per-output buffer occupancy (ArchDropTail)
+	// voq[i] is the virtual output queue from input i (ArchVOQ); fifo is the
+	// single output queue (ArchSharedOutput).
+	voq    [][]qpkt
+	fifo   []qpkt
+	queued int // packets waiting on this output
+	rr     int // round-robin pointer over inputs
+	busy   bool
+	wakeAt sim.Time
+
+	Tx    metrics.Counter
+	Drops uint64
+}
+
+// Switch is a configurable multi-port switch model. It is not safe for
+// concurrent use; all calls must come from its engine's event context.
+type Switch struct {
+	eng    *sim.Engine
+	params Params
+
+	in       []inPort
+	out      []*outPort
+	occupied int // total buffered bytes
+
+	// OnDrop, if set, observes every dropped frame (ingress port, packet).
+	// Used by experiment instrumentation and tests.
+	OnDrop func(in int, pkt *packet.Packet)
+
+	Stats Stats
+}
+
+// inPort tracks per-input buffer occupancy (ArchVOQ accounting).
+type inPort struct {
+	sw       *Switch
+	index    int
+	occupied int
+}
+
+// Receive implements link.Endpoint for a specific input port.
+func (ip *inPort) Receive(pkt *packet.Packet) { ip.sw.receive(ip.index, pkt) }
+
+// New builds a switch from params. Egress links must be attached with
+// AttachOutput before traffic flows.
+func New(eng *sim.Engine, params Params) (*Switch, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	sw := &Switch{eng: eng, params: params}
+	sw.Stats.DropsByInput = make([]uint64, params.Ports)
+	sw.in = make([]inPort, params.Ports)
+	sw.out = make([]*outPort, params.Ports)
+	for i := range sw.in {
+		sw.in[i] = inPort{sw: sw, index: i}
+	}
+	for i := range sw.out {
+		op := &outPort{wakeAt: sim.Never}
+		if params.Arch == ArchVOQ {
+			op.voq = make([][]qpkt, params.Ports)
+		}
+		sw.out[i] = op
+	}
+	return sw, nil
+}
+
+// Params returns the switch configuration.
+func (s *Switch) Params() Params { return s.params }
+
+// Input returns the endpoint for ingress port i; the upstream link's
+// destination should be set to it.
+func (s *Switch) Input(i int) link.Endpoint { return &s.in[i] }
+
+// AttachOutput connects egress port i to l. The link's rate should normally
+// equal params.LinkRate, but mixed-rate wiring (e.g. 10G uplinks on a 1G
+// switch) is allowed.
+func (s *Switch) AttachOutput(i int, l *link.Link) {
+	s.out[i].link = l
+}
+
+// OutputLink returns the link attached to egress port i (nil if none).
+func (s *Switch) OutputLink(i int) *link.Link { return s.out[i].link }
+
+// PortStats returns the egress counters and drop count for port i.
+func (s *Switch) PortStats(i int) (tx metrics.Counter, drops uint64) {
+	return s.out[i].Tx, s.out[i].Drops
+}
+
+// receive handles a frame arriving on input port in.
+func (s *Switch) receive(in int, pkt *packet.Packet) {
+	outIdx := pkt.NextRoutePort()
+	if outIdx < 0 || outIdx >= len(s.out) || s.out[outIdx].link == nil {
+		s.Stats.RouteErrors++
+		return
+	}
+	op := s.out[outIdx]
+	size := pkt.BufferBytes()
+
+	// Admission control: tail drop against the architecture's buffer model.
+	switch s.params.Arch {
+	case ArchVOQ:
+		// Shared pool with dynamic per-output thresholding (the Broadcom
+		// "flexible buffer allocation entities for traffic aggregate
+		// containment" scheme the paper configures its Nexus 5000-style
+		// model from): an output aggregate may occupy at most
+		// Alpha * (pool - occupied), so an incast victim port is contained
+		// while light traffic never sees drops.
+		free := s.params.SharedBuffer - s.occupied
+		if size > free || float64(op.occupied+size) > s.params.Alpha*float64(free) {
+			s.drop(op, in, pkt)
+			return
+		}
+		op.occupied += size
+	case ArchSharedOutput:
+		if s.occupied+size > s.params.SharedBuffer {
+			s.drop(op, in, pkt)
+			return
+		}
+	case ArchDropTail:
+		if op.occupied+size > s.params.BufferPerPort {
+			s.drop(op, in, pkt)
+			return
+		}
+		op.occupied += size
+	}
+	s.occupied += size
+	if s.occupied > s.Stats.PeakOccupied {
+		s.Stats.PeakOccupied = s.occupied
+	}
+
+	now := s.eng.Now()
+	lat := s.params.PortLatency + s.params.ExtraLatency
+	eligible := now.Add(lat) // store-and-forward: wait for the full frame
+	if s.params.CutThrough {
+		// Cut-through: egress may logically begin once the header has
+		// crossed the fabric — possibly before the last bit has arrived
+		// (the egress transmission is then backdated via link.SendFrom).
+		// If the egress link is faster than the ingress serialization the
+		// bits would underrun, so fall back to store-and-forward for that
+		// packet, as real cut-through switches do.
+		ingressSer := now.Sub(pkt.FirstBitArrival)
+		egressSer := op.link.SerializationTime(pkt)
+		if egressSer >= ingressSer {
+			eligible = pkt.FirstBitArrival.Add(lat)
+		}
+	}
+
+	q := qpkt{pkt: pkt, eligible: eligible, bytes: size, input: in}
+	if s.params.Arch == ArchVOQ {
+		op.voq[in] = append(op.voq[in], q)
+	} else {
+		op.fifo = append(op.fifo, q)
+	}
+	op.queued++
+	s.dispatch(op)
+}
+
+func (s *Switch) drop(op *outPort, in int, pkt *packet.Packet) {
+	op.Drops++
+	s.Stats.DropsByInput[in]++
+	s.Stats.Dropped.Add(pkt.BufferBytes())
+	if s.OnDrop != nil {
+		s.OnDrop(in, pkt)
+	}
+}
+
+// dispatch starts transmission on op if it is idle and a packet is eligible.
+func (s *Switch) dispatch(op *outPort) {
+	if op.busy || op.queued == 0 {
+		return
+	}
+	now := s.eng.Now()
+	var chosen *qpkt
+	var nextEligible = sim.Never
+
+	if s.params.Arch == ArchVOQ {
+		// Round-robin over inputs with eligible heads (paper: "unified
+		// abstract virtual output-queue switch model with a simple
+		// round-robin scheduler").
+		n := len(op.voq)
+		for k := 0; k < n; k++ {
+			i := (op.rr + k) % n
+			q := op.voq[i]
+			if len(q) == 0 {
+				continue
+			}
+			if q[0].eligible <= now {
+				chosen = &q[0]
+				op.voq[i] = q[1:]
+				op.rr = (i + 1) % n
+				break
+			}
+			if q[0].eligible < nextEligible {
+				nextEligible = q[0].eligible
+			}
+		}
+	} else {
+		if len(op.fifo) > 0 {
+			if op.fifo[0].eligible <= now {
+				chosen = &op.fifo[0]
+				op.fifo = op.fifo[1:]
+			} else {
+				nextEligible = op.fifo[0].eligible
+			}
+		}
+	}
+
+	if chosen == nil {
+		// Nothing eligible yet; wake when the earliest head matures.
+		if nextEligible < op.wakeAt {
+			op.wakeAt = nextEligible
+			s.eng.At(nextEligible, func() {
+				if op.wakeAt == nextEligible {
+					op.wakeAt = sim.Never
+				}
+				s.dispatch(op)
+			})
+		}
+		return
+	}
+
+	op.queued--
+	s.occupied -= chosen.bytes
+	switch s.params.Arch {
+	case ArchVOQ, ArchDropTail:
+		op.occupied -= chosen.bytes
+	}
+	op.busy = true
+	op.Tx.Add(chosen.pkt.WireBytes())
+	s.Stats.Forwarded.Add(chosen.pkt.BufferBytes())
+	// Start the egress no earlier than the packet's eligibility time; for a
+	// cut-through packet this may be in the (recent) past, which SendFrom
+	// handles by backdating the serialization window.
+	txDone := op.link.SendFrom(chosen.eligible, chosen.pkt)
+	wake := txDone
+	if wake < now {
+		wake = now
+	}
+	s.eng.At(wake, func() {
+		op.busy = false
+		s.dispatch(op)
+	})
+}
+
+// Occupied returns the currently buffered bytes across the switch.
+func (s *Switch) Occupied() int { return s.occupied }
+
+// String identifies the switch in traces.
+func (s *Switch) String() string {
+	return fmt.Sprintf("switch(%s,%d ports,%v)", s.params.Name, s.params.Ports, s.params.Arch)
+}

@@ -1,0 +1,227 @@
+// Package workload generates memcached request streams following the
+// published Facebook live-traffic statistics the paper built its client
+// from: Atikoglu et al., "Workload Analysis of a Large-Scale Key-Value
+// Store" (SIGMETRICS 2012), reference [23]. The paper focused on one
+// representative pool; we model ETC, the most representative general-purpose
+// pool, using the distribution families and parameters published there:
+//
+//   - Key sizes: Generalized Extreme Value, µ=30.7506, σ=8.20449, k=0.078688
+//     (bytes, clamped to memcached's [1, 250] limit).
+//   - Value sizes: Generalized Pareto, θ=0, σ=214.476, k=0.348238 (bytes,
+//     with a discrete spike at tiny values; clamped to the 1 MB limit).
+//   - GET:SET ratio ≈ 30:1.
+//   - Key popularity: Zipf-like (we use a Zipf(s≈0.99) rank distribution).
+//   - Inter-arrival: bursty; modeled per-client as exponential think time
+//     (the aggregate of many independent clients is Poisson-like, matching
+//     the paper's observation window).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"diablo/internal/sim"
+)
+
+// ETCParams are the published distribution parameters.
+type ETCParams struct {
+	// Key size GEV parameters (bytes).
+	KeyMu, KeySigma, KeyXi float64
+	// Value size GP parameters (bytes).
+	ValSigma, ValXi float64
+	// SmallValueProb is the discrete probability mass at tiny (<=2 B)
+	// values Atikoglu et al. report for ETC.
+	SmallValueProb float64
+	// GetRatio is P(GET); the rest are SETs.
+	GetRatio float64
+	// Keys is the key-space size per server.
+	Keys int
+	// ZipfS is the popularity skew.
+	ZipfS float64
+	// MaxValue clamps value sizes (memcached's 1 MB limit, bounded further
+	// by the simulated stack's 64 KB datagram ceiling for UDP transports).
+	MaxValue int
+	// ThinkTime is the mean per-client exponential think time between a
+	// response and the next request.
+	ThinkTime sim.Duration
+}
+
+// ETC returns the published ETC-pool parameters.
+func ETC() ETCParams {
+	return ETCParams{
+		KeyMu: 30.7506, KeySigma: 8.20449, KeyXi: 0.078688,
+		ValSigma: 214.476, ValXi: 0.348238,
+		SmallValueProb: 0.07,
+		GetRatio:       30.0 / 31.0,
+		Keys:           10_000,
+		ZipfS:          0.99,
+		// The ETC pool is dominated by small values (95% < 1 KB); the
+		// paper's Figure 10 latency range (≤ ~1 ms) implies its generator
+		// rarely produced multi-MTU responses, so the GP tail is clamped
+		// at 4 KB. Larger caps exercise the fragmentation/segmentation
+		// paths but push the latency tail beyond the published range.
+		MaxValue: 4 * 1024,
+		// Per-client pacing. Calibrated against three published anchors of
+		// §4.2 on the Figure 7 topology: server CPU utilization "moderate,
+		// at under 50%"; no packet retransmission from buffer overruns; and
+		// latency medians below 100 µs with a long tail that worsens by an
+		// order of magnitude from 500 to 2,000 nodes. At this rate the
+		// single cross-array uplink runs hot (~85%) at the 2,000-node
+		// scale — the "extra aggregate switch" whose queueing the paper
+		// blames for the amplified tail — while the 500-node scale, which
+		// has no datacenter switch, stays calm.
+		ThinkTime: 1200 * sim.Microsecond,
+	}
+}
+
+// Validate reports nonsensical parameters.
+func (p *ETCParams) Validate() error {
+	if p.Keys <= 0 {
+		return fmt.Errorf("workload: Keys must be positive")
+	}
+	if p.GetRatio < 0 || p.GetRatio > 1 {
+		return fmt.Errorf("workload: GetRatio out of [0,1]")
+	}
+	if p.MaxValue <= 0 {
+		return fmt.Errorf("workload: MaxValue must be positive")
+	}
+	if p.ValSigma <= 0 || p.KeySigma <= 0 {
+		return fmt.Errorf("workload: scale parameters must be positive")
+	}
+	return nil
+}
+
+// Op is a request operation.
+type Op uint8
+
+// Operations.
+const (
+	Get Op = iota
+	Set
+)
+
+func (o Op) String() string {
+	if o == Get {
+		return "get"
+	}
+	return "set"
+}
+
+// Request is one generated key-value operation.
+type Request struct {
+	Op         Op
+	Key        uint64 // key id within the target server's space
+	KeyBytes   int
+	ValueBytes int // for SETs: the value written; GET response size comes from the store
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	p   ETCParams
+	rng *sim.Rand
+	// zipf rejection-inversion state (Jim Gray's method needs tables; we
+	// use the simpler inverse-CDF over a precomputed prefix for small key
+	// spaces and a rejection sampler otherwise).
+	zipfC float64
+}
+
+// NewGenerator creates a generator with its own random stream.
+func NewGenerator(p ETCParams, rng *sim.Rand) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{p: p, rng: rng}
+	// Normalization constant for the harmonic-like CDF approximation
+	// H(k) ≈ (k^(1-s) - 1)/(1-s); exact enough for popularity modeling.
+	s := p.ZipfS
+	if s == 1 {
+		s = 0.9999
+	}
+	g.zipfC = (math.Pow(float64(p.Keys), 1-s) - 1) / (1 - s)
+	return g, nil
+}
+
+// KeySize draws a key size (GEV, clamped to [1, 250]).
+func (g *Generator) KeySize() int {
+	u := g.rng.Float64()
+	for u == 0 || u == 1 {
+		u = g.rng.Float64()
+	}
+	// GEV inverse CDF: µ + σ*((-ln u)^(-k) - 1)/k.
+	var x float64
+	if g.p.KeyXi == 0 {
+		x = g.p.KeyMu - g.p.KeySigma*math.Log(-math.Log(u))
+	} else {
+		x = g.p.KeyMu + g.p.KeySigma*(math.Pow(-math.Log(u), -g.p.KeyXi)-1)/g.p.KeyXi
+	}
+	n := int(x)
+	if n < 1 {
+		n = 1
+	}
+	if n > 250 {
+		n = 250
+	}
+	return n
+}
+
+// ValueSize draws a value size (GP with a small-value spike, clamped).
+func (g *Generator) ValueSize() int {
+	if g.rng.Float64() < g.p.SmallValueProb {
+		return 1 + g.rng.Intn(2)
+	}
+	v := int(g.rng.Pareto(0, g.p.ValSigma, g.p.ValXi))
+	if v < 1 {
+		v = 1
+	}
+	if v > g.p.MaxValue {
+		v = g.p.MaxValue
+	}
+	return v
+}
+
+// Key draws a key rank via the approximate-Zipf inverse CDF.
+func (g *Generator) Key() uint64 {
+	s := g.p.ZipfS
+	if s == 1 {
+		s = 0.9999
+	}
+	u := g.rng.Float64()
+	// Invert H(k)/H(N) = u  =>  k = (1 + u*C*(1-s))^(1/(1-s)).
+	k := math.Pow(1+u*g.zipfC*(1-s), 1/(1-s))
+	id := uint64(k)
+	if id < 1 {
+		id = 1
+	}
+	if id > uint64(g.p.Keys) {
+		id = uint64(g.p.Keys)
+	}
+	return id - 1
+}
+
+// Next draws a complete request.
+func (g *Generator) Next() Request {
+	r := Request{Key: g.Key(), KeyBytes: g.KeySize()}
+	if g.rng.Float64() < g.p.GetRatio {
+		r.Op = Get
+	} else {
+		r.Op = Set
+		r.ValueBytes = g.ValueSize()
+	}
+	return r
+}
+
+// Think draws the inter-request think time.
+func (g *Generator) Think() sim.Duration {
+	return g.rng.Exp(g.p.ThinkTime)
+}
+
+// ValueSizeForKey gives the deterministic steady-state value size of a key,
+// used to pre-warm server stores so GETs hit (the paper's measurements are
+// in steady state). It hashes the key through the generator's distribution
+// deterministically.
+func ValueSizeForKey(p ETCParams, key uint64) int {
+	// A per-key deterministic stream keeps sizes stable across runs.
+	r := sim.NewRand(sim.DeriveSeed(0x9E3779B9, fmt.Sprintf("key-%d", key)))
+	g := &Generator{p: p, rng: r}
+	return g.ValueSize()
+}
