@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrency-bearing packages (the parallel engine and the
+# partitioned cluster). Much faster than racing the whole tree; `make check`
+# still races everything.
+race:
+	$(GO) test -race ./internal/sim ./internal/core
+
+# The full gate: vet + race-enabled tests across every package.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -7,6 +7,9 @@
 package diablo
 
 import (
+	"runtime"
+	"time"
+
 	"testing"
 
 	"diablo/internal/core"
@@ -233,6 +236,35 @@ func BenchmarkSection5EngineParallel(b *testing.B) {
 		b.ReportMetric(seq/1e6, "seq-Mev/s")
 		b.ReportMetric(par/1e6, "par-Mev/s")
 		b.ReportMetric(par/seq, "speedup-x")
+	}
+}
+
+// BenchmarkParallelClusterSpeedup runs the same multi-rack memcached model
+// single-threaded and with one worker per CPU, reporting the wall-clock
+// ratio. The two runs produce identical simulation results (asserted by
+// TestMemcachedWorkerCountDeterminism); on a multi-core host the parallel
+// run should be >= 1.5x faster at this scale. On a single-core host the
+// ratio degenerates to ~1x — the barrier protocol, not the hardware, is
+// what this benchmark exercises there.
+func BenchmarkParallelClusterSpeedup(b *testing.B) {
+	run := func(workers int) time.Duration {
+		cfg := DefaultMemcached()
+		cfg.Arrays = 2 // 32 racks + fabric = 33 partitions, 992 nodes
+		cfg.RequestsPerClient = 30
+		cfg.Partitions = workers
+		start := time.Now()
+		if _, err := RunMemcached(cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		serial := run(1)
+		parallel := run(runtime.NumCPU())
+		b.ReportMetric(serial.Seconds(), "serial-s")
+		b.ReportMetric(parallel.Seconds(), "parallel-s")
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
+		b.ReportMetric(float64(runtime.NumCPU()), "cpus")
 	}
 }
 

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	diablo list
-//	diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S]
+//	diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W]
 //	diablo all  [-requests N] [-iterations N]
 //
 // IDs follow the paper: fig2, table1, table2, proto, fig6a, fig6b, fig8,
@@ -80,12 +80,14 @@ func parseOpts(args []string) diablo.ExperimentOptions {
 	iterations := fs.Int("iterations", 0, "incast iterations per point (0 = default; paper uses 40)")
 	senders := fs.String("senders", "", "comma-separated incast sender counts (default 1..24)")
 	seed := fs.Uint64("seed", 0, "master seed (0 = default)")
+	partitions := fs.Int("partitions", 0, "parallel workers for multi-rack runs (0/1 = serial; results are identical at any value)")
 	_ = fs.Parse(args)
 
 	var opts diablo.ExperimentOptions
 	opts.Requests = *requests
 	opts.Iterations = *iterations
 	opts.Seed = *seed
+	opts.Partitions = *partitions
 	if *senders != "" {
 		for _, s := range strings.Split(*senders, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -102,6 +104,6 @@ func parseOpts(args []string) diablo.ExperimentOptions {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   diablo list
-  diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S]
+  diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W]
   diablo all [flags]`)
 }

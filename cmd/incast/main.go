@@ -43,7 +43,7 @@ func main() {
 	var tr *trace.Tracer
 	if *traceDrops {
 		cfg.OnCluster = func(c *core.Cluster) {
-			tr = trace.New(func() diablo.Time { return c.Eng.Now() }, 256, nil)
+			tr = trace.New(func() diablo.Time { return c.Scheduler().Now() }, 256, nil)
 			for i, sw := range c.Tors {
 				sw.OnDrop = tr.DropHook(fmt.Sprintf("tor-%d", i))
 			}

@@ -49,14 +49,18 @@ import (
 	"diablo/internal/workload"
 )
 
-// Simulation time.
+// Simulation time and scheduling.
 type (
 	// Time is an absolute simulated time (picoseconds since epoch).
 	Time = sim.Time
 	// Duration is a span of simulated time.
 	Duration = sim.Duration
-	// Engine is the discrete-event core.
-	Engine = sim.Engine
+	// Scheduler is the engine-agnostic event-scheduling surface: it is
+	// satisfied by the sequential engine and by the per-partition handles of
+	// a parallel run. Model code never sees a concrete engine type.
+	Scheduler = sim.Scheduler
+	// EventID names a scheduled event for cancellation.
+	EventID = sim.EventID
 )
 
 // Common durations.
@@ -79,6 +83,8 @@ type (
 	Topology = topology.Topology
 	// HopClass classifies paths (Local / OneHop / TwoHop).
 	HopClass = topology.HopClass
+	// ClusterOption customizes cluster execution (parallelism, quantum).
+	ClusterOption = core.Option
 	// SwitchParams configures a switch model.
 	SwitchParams = vswitch.Params
 	// SwitchArch selects the buffering architecture.
@@ -182,6 +188,12 @@ type (
 var (
 	// NewCluster builds and wires a cluster.
 	NewCluster = core.New
+	// WithPartitions sets the parallel worker count for a multi-rack
+	// cluster; results are identical at any worker count.
+	WithPartitions = core.WithPartitions
+	// WithQuantum overrides the synchronization quantum (must not exceed
+	// the minimum inter-partition link latency).
+	WithQuantum = core.WithQuantum
 	// DefaultClusterConfig returns the paper's baseline cluster for a
 	// topology.
 	DefaultClusterConfig = core.DefaultConfig

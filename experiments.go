@@ -22,6 +22,9 @@ type ExperimentOptions struct {
 	Senders []int
 	// Seed is the master seed.
 	Seed uint64
+	// Partitions is the parallel worker count for multi-rack runs (0 or 1 =
+	// single-threaded; any value yields identical results).
+	Partitions int
 }
 
 // ExperimentOutput is the rendered result of one experiment.
@@ -108,6 +111,7 @@ func (o ExperimentOptions) mcSweep() core.MemcachedSweep {
 	if o.Seed != 0 {
 		s.Seed = o.Seed
 	}
+	s.Partitions = o.Partitions
 	return s
 }
 
@@ -176,6 +180,7 @@ func runFig8(o ExperimentOptions) (*ExperimentOutput, error) {
 	if o.Seed != 0 {
 		opts.Seed = o.Seed
 	}
+	opts.Partitions = o.Partitions
 	th, lat, err := core.Figure8(opts)
 	if err != nil {
 		return nil, err

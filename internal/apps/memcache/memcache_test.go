@@ -76,7 +76,7 @@ func TestRequestWireBytes(t *testing.T) {
 
 // rig wires a server machine and a client machine back-to-back.
 type rig struct {
-	eng            *sim.Engine
+	eng            sim.Runner
 	server, client *kernel.Machine
 }
 

@@ -78,19 +78,56 @@ func (c *Config) Use10G() {
 }
 
 // Cluster is a fully wired simulated array.
+//
+// A single-rack cluster runs on one sequential engine. A multi-rack cluster
+// is partitioned DIABLO-style — one partition per rack plus one "fabric"
+// partition holding the array and datacenter switches (the paper's
+// one-rack-per-FPGA mapping, §3) — and executes under conservative
+// quantum-barrier synchronization whatever the worker count, so results are
+// identical whether the partitions run on 1 or N OS threads.
 type Cluster struct {
-	Eng      *sim.Engine
 	Topo     *topology.Topology
 	Machines []*kernel.Machine
 	Tors     []*vswitch.Switch
 	Arrays   []*vswitch.Switch
 	DC       *vswitch.Switch
 
-	cfg Config
+	cfg  Config
+	opts options
+
+	eng     sim.Runner          // single-rack serial path
+	pe      *sim.ParallelEngine // multi-rack partitioned path
+	quantum sim.Duration        // barrier quantum (0 on the serial path)
+}
+
+// Option customizes cluster execution without touching the model Config.
+type Option func(*options)
+
+type options struct {
+	workers int
+	quantum sim.Duration
+}
+
+// WithPartitions sets how many OS-level workers execute the cluster's
+// partitions in parallel (clamped to the partition count; default 1). The
+// partition layout itself is fixed by the topology — one partition per rack
+// plus the aggregation fabric — so this knob changes wall-clock speed only,
+// never simulation results. It has no effect on single-rack clusters, which
+// run on the sequential engine.
+func WithPartitions(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithQuantum overrides the synchronization quantum. The default — the
+// minimum latency of any inter-partition link — is the largest safe value;
+// New rejects overrides above it (they would violate conservative
+// lookahead) or below 1 ps.
+func WithQuantum(d sim.Duration) Option {
+	return func(o *options) { o.quantum = d }
 }
 
 // New builds and wires a cluster.
-func New(cfg Config) (*Cluster, error) {
+func New(cfg Config, opts ...Option) (*Cluster, error) {
 	topo, err := topology.New(cfg.Topology)
 	if err != nil {
 		return nil, err
@@ -98,12 +135,53 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Server.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	c := &Cluster{Eng: eng, Topo: topo, cfg: cfg}
+	c := &Cluster{Topo: topo, cfg: cfg}
+	for _, opt := range opts {
+		opt(&c.opts)
+	}
 
 	tp := topo.Params()
 	multiRack := topo.MultiRack()
 	multiArray := topo.MultiArray()
+
+	// Partition layout and schedulers. sched(i) is partition i's local
+	// scheduler; cross(src, dst) schedules from partition src's event context
+	// onto partition dst (used for the delivery side of partition-crossing
+	// links). On the serial path both collapse to the one engine.
+	var (
+		sched func(part int) sim.Scheduler
+		cross func(src, dst int) sim.Scheduler
+	)
+	if multiRack {
+		quantum, err := c.lookahead()
+		if err != nil {
+			return nil, err
+		}
+		if c.opts.quantum != 0 {
+			if c.opts.quantum <= 0 {
+				return nil, fmt.Errorf("core: quantum must be positive")
+			}
+			if c.opts.quantum > quantum {
+				return nil, fmt.Errorf("core: quantum %v exceeds the minimum inter-partition link latency %v (conservative lookahead bound)", c.opts.quantum, quantum)
+			}
+			quantum = c.opts.quantum
+		}
+		c.quantum = quantum
+		c.pe = sim.NewParallelEngine(topo.Racks()+1, quantum)
+		c.pe.SetWorkers(c.opts.workers)
+		sched = func(part int) sim.Scheduler { return c.pe.Partition(part) }
+		cross = func(src, dst int) sim.Scheduler {
+			if src == dst {
+				return c.pe.Partition(src)
+			}
+			return c.pe.Cross(src, dst)
+		}
+	} else {
+		c.eng = sim.NewEngine()
+		sched = func(int) sim.Scheduler { return c.eng }
+		cross = func(int, int) sim.Scheduler { return c.eng }
+	}
+	fabric := topo.Racks() // partition holding array + DC switches
 
 	// Build switches.
 	torPorts := tp.ServersPerRack
@@ -114,7 +192,7 @@ func New(cfg Config) (*Cluster, error) {
 		params := cfg.ToR
 		params.Name = fmt.Sprintf("tor-%d", r)
 		params.Ports = torPorts
-		sw, err := vswitch.New(eng, params)
+		sw, err := vswitch.New(sched(r), params)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +207,7 @@ func New(cfg Config) (*Cluster, error) {
 			params := cfg.Array
 			params.Name = fmt.Sprintf("array-%d", a)
 			params.Ports = arrayPorts
-			sw, err := vswitch.New(eng, params)
+			sw, err := vswitch.New(sched(fabric), params)
 			if err != nil {
 				return nil, err
 			}
@@ -140,35 +218,37 @@ func New(cfg Config) (*Cluster, error) {
 		params := cfg.DC
 		params.Name = "dc"
 		params.Ports = tp.Arrays
-		sw, err := vswitch.New(eng, params)
+		sw, err := vswitch.New(sched(fabric), params)
 		if err != nil {
 			return nil, err
 		}
 		c.DC = sw
 	}
 
-	// Build servers and edge links.
+	// Build servers and edge links; a machine, its NIC and both edge links
+	// live wholly inside the rack's partition.
 	for n := 0; n < topo.Servers(); n++ {
 		node := packet.NodeID(n)
 		rack := topo.RackOf(node)
 		idx := topo.IndexInRack(node)
 		tor := c.Tors[rack]
+		rsched := sched(rack)
 
 		serverCfg := cfg.Server
 		if cfg.ServerFor != nil {
 			serverCfg = cfg.ServerFor(node, serverCfg)
 		}
 
-		up := link.New(eng, tor.Input(idx), cfg.ToR.LinkRate, cfg.CableProp)
-		dev, err := nic.New(eng, serverCfg.NIC, up)
+		up := link.New(rsched, tor.Input(idx), cfg.ToR.LinkRate, cfg.CableProp)
+		dev, err := nic.New(rsched, serverCfg.NIC, up)
 		if err != nil {
 			return nil, err
 		}
-		m, err := kernel.New(eng, node, serverCfg, topo, dev, cfg.Seed)
+		m, err := kernel.New(rsched, node, serverCfg, topo, dev, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		tor.AttachOutput(idx, link.New(eng, dev, cfg.ToR.LinkRate, cfg.CableProp))
+		tor.AttachOutput(idx, link.New(rsched, dev, cfg.ToR.LinkRate, cfg.CableProp))
 		c.Machines = append(c.Machines, m)
 
 		if cfg.Daemon.Period > 0 && cfg.Daemon.BurstInstr > 0 {
@@ -176,26 +256,67 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 
-	// Wire ToR <-> array uplinks.
+	// Wire ToR <-> array uplinks. These are the partition-crossing links:
+	// transmit-side bookkeeping stays on the sender's partition, while the
+	// delivery event is routed to the receiving partition at the next quantum
+	// barrier.
 	if multiRack {
 		upPort := topo.TorUplinkPort()
 		for r := 0; r < topo.Racks(); r++ {
 			a := topo.ArrayOf(r)
 			localIdx := topo.RackInArray(r)
 			arr := c.Arrays[a]
-			c.Tors[r].AttachOutput(upPort, link.New(eng, arr.Input(localIdx), cfg.Array.LinkRate, cfg.CableProp))
-			arr.AttachOutput(localIdx, link.New(eng, c.Tors[r].Input(upPort), cfg.Array.LinkRate, cfg.CableProp))
+
+			up := link.New(sched(r), arr.Input(localIdx), cfg.Array.LinkRate, cfg.CableProp)
+			up.SetDeliverySched(cross(r, fabric))
+			c.Tors[r].AttachOutput(upPort, up)
+
+			down := link.New(sched(fabric), c.Tors[r].Input(upPort), cfg.Array.LinkRate, cfg.CableProp)
+			down.SetDeliverySched(cross(fabric, r))
+			arr.AttachOutput(localIdx, down)
 		}
 	}
-	// Wire array <-> DC uplinks.
+	// Wire array <-> DC uplinks (both ends live in the fabric partition).
 	if multiArray {
 		upPort := topo.ArrayUplinkPort()
+		fsched := sched(fabric)
 		for a := 0; a < topo.Arrays(); a++ {
-			c.Arrays[a].AttachOutput(upPort, link.New(eng, c.DC.Input(a), cfg.DC.LinkRate, cfg.CableProp))
-			c.DC.AttachOutput(a, link.New(eng, c.Arrays[a].Input(upPort), cfg.DC.LinkRate, cfg.CableProp))
+			c.Arrays[a].AttachOutput(upPort, link.New(fsched, c.DC.Input(a), cfg.DC.LinkRate, cfg.CableProp))
+			c.DC.AttachOutput(a, link.New(fsched, c.Arrays[a].Input(upPort), cfg.DC.LinkRate, cfg.CableProp))
 		}
 	}
 	return c, nil
+}
+
+// lookahead computes the largest safe synchronization quantum: the minimum,
+// over all partition-crossing links (the ToR<->array uplinks), of
+//
+//	propagation + min(sender port latency, min-frame serialization time)
+//
+// Propagation is a hard floor on any cross-partition effect. On top of it,
+// a frame leaving a switch egress cannot be delivered sooner than the
+// sender's port-to-port latency after the dispatch decision (the cut-through
+// case: an egress start is backdated at most to first-bit arrival, and
+// cut-through requires the egress serialization to cover the ingress), nor
+// sooner than one minimum-frame serialization after a busy port frees up.
+func (c *Cluster) lookahead() (sim.Duration, error) {
+	minWire := (&packet.Packet{}).WireBytes() // minimum frame + preamble/IFG
+	serMin := sim.TransmitTime(minWire, c.cfg.Array.LinkRate)
+	lat := func(p vswitch.Params) sim.Duration {
+		d := p.PortLatency + p.ExtraLatency
+		if serMin < d {
+			d = serMin
+		}
+		return d
+	}
+	q := c.cfg.CableProp + lat(c.cfg.ToR) // ToR -> array direction
+	if d := c.cfg.CableProp + lat(c.cfg.Array); d < q {
+		q = d // array -> ToR direction
+	}
+	if q <= 0 {
+		return 0, fmt.Errorf("core: inter-rack links have no latency (prop %v): cannot derive a positive synchronization quantum", c.cfg.CableProp)
+	}
+	return q, nil
 }
 
 // Config returns the cluster configuration.
@@ -204,11 +325,77 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Machine returns the machine for a node.
 func (c *Cluster) Machine(n packet.NodeID) *kernel.Machine { return c.Machines[n] }
 
-// RunUntil advances the simulation to the deadline.
-func (c *Cluster) RunUntil(d sim.Duration) { c.Eng.RunUntil(sim.Time(d)) }
+// Scheduler returns the cluster's engine-agnostic event scheduler: the
+// sequential engine on a single-rack cluster, the fabric partition's handle
+// on a partitioned one. Use it to read the clock or schedule global events
+// before the run starts; during a parallel run, model code must schedule
+// through its own machine's Scheduler() instead.
+func (c *Cluster) Scheduler() sim.Scheduler {
+	if c.pe != nil {
+		return c.pe.Partition(c.pe.Partitions() - 1)
+	}
+	return c.eng
+}
 
-// Run advances the simulation until the event queue drains or Halt.
-func (c *Cluster) Run() { c.Eng.Run() }
+// Parallel reports whether the cluster executes under the partitioned
+// engine (true for every multi-rack topology).
+func (c *Cluster) Parallel() bool { return c.pe != nil }
+
+// Partitions returns the number of model partitions (1 on the serial path).
+func (c *Cluster) Partitions() int {
+	if c.pe != nil {
+		return c.pe.Partitions()
+	}
+	return 1
+}
+
+// Workers returns the number of OS-level workers executing partitions.
+func (c *Cluster) Workers() int {
+	if c.pe != nil {
+		return c.pe.Workers()
+	}
+	return 1
+}
+
+// Quantum returns the synchronization quantum (0 on the serial path).
+func (c *Cluster) Quantum() sim.Duration { return c.quantum }
+
+// Now returns the simulated time: the engine clock on the serial path, the
+// last completed quantum barrier on the parallel path.
+func (c *Cluster) Now() sim.Time {
+	if c.pe != nil {
+		return c.pe.Now()
+	}
+	return c.eng.Now()
+}
+
+// RunUntil advances the simulation to the deadline.
+func (c *Cluster) RunUntil(d sim.Duration) {
+	if c.pe != nil {
+		c.pe.RunUntil(sim.Time(d))
+		return
+	}
+	c.eng.RunUntil(sim.Time(d))
+}
+
+// Run advances the simulation until the event queues drain or Halt.
+func (c *Cluster) Run() {
+	if c.pe != nil {
+		c.pe.RunUntil(sim.Never)
+		return
+	}
+	c.eng.Run()
+}
+
+// Halt stops the run: immediately on the serial path, at the next quantum
+// barrier on the parallel path (safe from any machine's event context).
+func (c *Cluster) Halt() {
+	if c.pe != nil {
+		c.pe.Halt()
+		return
+	}
+	c.eng.Halt()
+}
 
 // Shutdown kills all application threads, releasing their goroutines. Call
 // once per cluster when the experiment is done; the engine must be stopped.

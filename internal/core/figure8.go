@@ -25,6 +25,9 @@ type Figure8Options struct {
 	// UseUDP selects the transport.
 	UseUDP bool
 	Seed   uint64
+	// Partitions is the parallel worker count (0 or 1 = single-threaded);
+	// the Figure 8 topology is a single rack, so it runs serial regardless.
+	Partitions int
 }
 
 // DefaultFigure8 returns the paper's sweep at reduced request counts.
@@ -82,6 +85,7 @@ func runFigure8Point(opts Figure8Options, physical bool, nClients int) (*Memcach
 	cfg.Workers = opts.Workers
 	cfg.MaxClients = nClients
 	cfg.Seed = opts.Seed
+	cfg.Partitions = opts.Partitions
 	cfg.StartSpread = sim.Millisecond
 	cfg.Warmup = 20
 	if opts.UseUDP {

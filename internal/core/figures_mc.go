@@ -18,6 +18,9 @@ type MemcachedSweep struct {
 	RequestsPerClient int
 	// Seed is the master seed.
 	Seed uint64
+	// Partitions is the parallel worker count for every run in the sweep
+	// (0 or 1 = single-threaded; results are identical either way).
+	Partitions int
 }
 
 // DefaultMemcachedSweep returns bench-friendly defaults.
@@ -38,6 +41,7 @@ func (s MemcachedSweep) base() MemcachedConfig {
 	cfg := DefaultMemcached()
 	cfg.RequestsPerClient = s.RequestsPerClient
 	cfg.Seed = s.Seed
+	cfg.Partitions = s.Partitions
 	return cfg
 }
 

@@ -36,6 +36,11 @@ type IncastConfig struct {
 	Deadline sim.Duration
 	// Seed is the master seed.
 	Seed uint64
+	// Partitions sets the parallel worker count (see core.WithPartitions).
+	// The single-switch incast topology is one rack, so it runs on the
+	// sequential engine regardless; the knob exists for API symmetry and
+	// becomes meaningful for multi-rack incast variants.
+	Partitions int
 	// OnCluster, if set, observes the wired cluster before the run starts —
 	// the hook for attaching tracers and custom instrumentation.
 	OnCluster func(*Cluster)
@@ -71,7 +76,7 @@ func RunIncast(cfg IncastConfig) (incast.Result, error) {
 	if cfg.MinRTO > 0 {
 		cc.Server.TCP.MinRTO = cfg.MinRTO
 	}
-	cluster, err := New(cc)
+	cluster, err := New(cc, WithPartitions(cfg.Partitions))
 	if err != nil {
 		return incast.Result{}, err
 	}
@@ -100,7 +105,7 @@ func RunIncast(cfg IncastConfig) (incast.Result, error) {
 	var result *incast.Result
 	incast.InstallClient(cluster.Machine(0), clientParams, func(r incast.Result) {
 		result = &r
-		cluster.Eng.Halt()
+		cluster.Halt()
 	})
 
 	deadline := cfg.Deadline

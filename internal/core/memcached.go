@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"diablo/internal/apps/memcache"
 	"diablo/internal/kernel"
@@ -56,6 +57,10 @@ type MemcachedConfig struct {
 	// NICRxITR overrides the NIC interrupt-mitigation timer on every node
 	// (<0 disables mitigation, 0 keeps the e1000 default). An ablation knob.
 	NICRxITR sim.Duration
+	// Partitions sets the number of OS-level workers executing the
+	// partitioned cluster in parallel (0 or 1 = single-threaded). Results
+	// are identical at any worker count; see core.WithPartitions.
+	Partitions int
 	// Seed is the master seed.
 	Seed uint64
 	// Deadline bounds simulated time (0 = auto-estimated).
@@ -145,7 +150,7 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		mutate(&cc)
 	}
 
-	cluster, err := New(cc)
+	cluster, err := New(cc, WithPartitions(cfg.Partitions))
 	if err != nil {
 		return nil, err
 	}
@@ -194,6 +199,11 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 	}
 
 	// Install clients on every non-server node (bounded by MaxClients).
+	// Client callbacks fire from their machine's partition, so aggregation
+	// into res is mutex-protected; every aggregate (counters, histogram
+	// buckets, min/max) is commutative, which keeps the result independent
+	// of cross-partition callback interleaving — and hence of worker count.
+	var mu sync.Mutex
 	clients := 0
 	done := 0
 	for n := 0; n < topo.Servers(); n++ {
@@ -212,12 +222,14 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		if cfg.StartSpread > 0 {
 			cp.StartSpread = cfg.StartSpread
 		}
-		seen := 0
+		seen := 0 // per-client, only touched from its own partition
 		cp.OnSample = func(s memcache.Sample) {
 			seen++
 			if seen <= cfg.Warmup {
 				return
 			}
+			mu.Lock()
+			defer mu.Unlock()
 			res.Samples++
 			if s.Retried {
 				res.Retried++
@@ -225,10 +237,17 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 			res.Overall.Record(s.Latency)
 			res.ByHop[topo.Hops(node, s.Server)].Record(s.Latency)
 		}
+		m := cluster.Machine(node)
 		cp.OnDone = func() {
+			mu.Lock()
+			defer mu.Unlock()
 			done++
 			if done == clients {
-				cluster.Eng.Halt()
+				// The halting event's own clock is the run length (on the
+				// parallel path the engines then drain to the next barrier,
+				// whose timing depends on the quantum, not the workload).
+				res.Elapsed = sim.Duration(m.Now())
+				cluster.Halt()
 			}
 		}
 		memcache.InstallClient(cluster.Machine(node), cp)
@@ -242,7 +261,9 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 	}
 	cluster.RunUntil(deadline)
 	res.ClientsDone = done
-	res.Elapsed = sim.Duration(cluster.Eng.Now())
+	if res.Elapsed == 0 { // deadline hit before every client finished
+		res.Elapsed = sim.Duration(cluster.Now())
+	}
 	res.SwitchDrops = cluster.SwitchDrops()
 
 	var util float64

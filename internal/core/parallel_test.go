@@ -1,0 +1,156 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"diablo/internal/sim"
+	"diablo/internal/topology"
+)
+
+// parallelMemcached returns a fast multi-rack configuration and topology for
+// the determinism tests: 4 racks across 2 arrays, so the cluster carries
+// rack partitions, a fabric partition, and a DC switch.
+func parallelMemcached() (MemcachedConfig, topology.Params) {
+	cfg := DefaultMemcached()
+	cfg.Arrays = 2
+	cfg.ServersPerRack = 1
+	cfg.RequestsPerClient = 12
+	cfg.Warmup = 2
+	topo := topology.Params{ServersPerRack: 5, RacksPerArray: 2, Arrays: 2}
+	return cfg, topo
+}
+
+func TestMemcachedWorkerCountDeterminism(t *testing.T) {
+	// The tentpole guarantee: the same seed yields byte-identical results at
+	// 1, 2, and 4 parallel workers. The partition layout, quantum grid, and
+	// cross-partition merge order are fixed by the topology, so worker count
+	// is pure wall-clock parallelism.
+	run := func(partitions int) *MemcachedResult {
+		cfg, topo := parallelMemcached()
+		cfg.Partitions = partitions
+		res, err := runMemcachedWithTopology(cfg, topo, nil)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", partitions, err)
+		}
+		return res
+	}
+	want := run(1)
+	if want.ClientsDone != want.Clients {
+		t.Fatalf("baseline run incomplete: %d/%d clients", want.ClientsDone, want.Clients)
+	}
+	if want.Samples == 0 {
+		t.Fatal("baseline run recorded no samples")
+	}
+	for _, p := range []int{2, 4} {
+		got := run(p)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("partitions=%d diverged from partitions=1:\n got %+v\nwant %+v", p, got, want)
+		}
+	}
+}
+
+func TestIncastPartitionsDeterminism(t *testing.T) {
+	// Incast is a single-rack topology, so it runs on the sequential engine;
+	// the Partitions knob must be accepted and must not change anything.
+	run := func(partitions int) interface{} {
+		cfg := DefaultIncast(4)
+		cfg.Iterations = 4
+		cfg.Partitions = partitions
+		res, err := RunIncast(cfg)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", partitions, err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, p := range []int{2, 4} {
+		if got := run(p); !reflect.DeepEqual(got, want) {
+			t.Errorf("partitions=%d diverged:\n got %+v\nwant %+v", p, got, want)
+		}
+	}
+}
+
+func TestClusterPartitionLayout(t *testing.T) {
+	cfg := DefaultConfig(topology.Params{ServersPerRack: 4, RacksPerArray: 2, Arrays: 2})
+	c, err := New(cfg, WithPartitions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if !c.Parallel() {
+		t.Fatal("multi-rack cluster did not build on the partitioned engine")
+	}
+	// 4 racks + 1 fabric partition; 8 requested workers clamp to 5.
+	if got := c.Partitions(); got != 5 {
+		t.Errorf("partitions = %d, want 5 (one per rack + fabric)", got)
+	}
+	if got := c.Workers(); got != 5 {
+		t.Errorf("workers = %d, want clamp to partition count 5", got)
+	}
+	// Default fabric: 500ns cable + min(1us port latency, 672ns min-frame
+	// serialization at 1 Gbps) = 1.172us.
+	if got := c.Quantum(); got != 1172*sim.Nanosecond {
+		t.Errorf("quantum = %v, want 1.172us", got)
+	}
+	if c.Scheduler() == nil {
+		t.Error("Scheduler() returned nil")
+	}
+
+	single, err := New(DefaultConfig(topology.Params{ServersPerRack: 4, RacksPerArray: 1, Arrays: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Shutdown()
+	if single.Parallel() || single.Partitions() != 1 || single.Quantum() != 0 {
+		t.Errorf("single-rack cluster should run serial: parallel=%v partitions=%d quantum=%v",
+			single.Parallel(), single.Partitions(), single.Quantum())
+	}
+}
+
+func TestClusterQuantumOption(t *testing.T) {
+	cfg := DefaultConfig(topology.Params{ServersPerRack: 2, RacksPerArray: 2, Arrays: 1})
+	c, err := New(cfg, WithQuantum(500*sim.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if got := c.Quantum(); got != 500*sim.Nanosecond {
+		t.Errorf("quantum override not applied: %v", got)
+	}
+
+	// An override above the lookahead bound would break causality.
+	if _, err := New(cfg, WithQuantum(10*sim.Microsecond)); err == nil {
+		t.Error("oversized quantum accepted")
+	} else if !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("oversized-quantum error does not explain the bound: %v", err)
+	}
+	if _, err := New(cfg, WithQuantum(-sim.Nanosecond)); err == nil {
+		t.Error("negative quantum accepted")
+	}
+}
+
+func TestCrossRackTrafficRunsPartitioned(t *testing.T) {
+	// End-to-end sanity on the partitioned path: cross-rack traffic flows
+	// and the run is identical whether partitions execute on 1 or 4 workers.
+	run := func(workers int) (sim.Time, uint64) {
+		cfg, topoParams := parallelMemcached()
+		cfg.Partitions = workers
+		cfg.RequestsPerClient = 6
+		cfg.Warmup = 0
+		res, err := runMemcachedWithTopology(cfg, topoParams, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Time(res.Elapsed), res.Samples
+	}
+	e1, s1 := run(1)
+	e4, s4 := run(4)
+	if e1 != e4 || s1 != s4 {
+		t.Fatalf("workers changed the simulation: (%v, %d) vs (%v, %d)", e1, s1, e4, s4)
+	}
+	if s1 == 0 {
+		t.Fatal("no samples flowed across the partitioned fabric")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"diablo/internal/apps/memcache"
@@ -119,6 +120,7 @@ func EngineComparison(partitions, eventsPerPartition int) (seqRate, parRate floa
 	// Parallel run of the same structure.
 	{
 		pe := sim.NewParallelEngine(partitions, lookahead)
+		pe.SetWorkers(runtime.NumCPU())
 		for p := 0; p < partitions; p++ {
 			p := p
 			eng := pe.Partition(p)

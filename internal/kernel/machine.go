@@ -91,7 +91,7 @@ type MachineStats struct {
 // and its sockets. All methods must be invoked from the simulation's event
 // context (or from a Thread belonging to this machine).
 type Machine struct {
-	eng  *sim.Engine
+	eng  sim.Scheduler
 	node packet.NodeID
 	cfg  Config
 	rng  *sim.Rand
@@ -157,7 +157,7 @@ type connKey struct {
 // New creates a machine. wire is the NIC's egress link toward the ToR; the
 // machine's NIC is registered as the endpoint for the reverse link by the
 // cluster builder via Machine.NIC().
-func New(eng *sim.Engine, node packet.NodeID, cfg Config, router Router, dev *nic.NIC, seed uint64) (*Machine, error) {
+func New(eng sim.Scheduler, node packet.NodeID, cfg Config, router Router, dev *nic.NIC, seed uint64) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -194,8 +194,9 @@ func (m *Machine) Rand() *sim.Rand { return m.rng }
 // Now returns the simulated time.
 func (m *Machine) Now() sim.Time { return m.eng.Now() }
 
-// Engine returns the simulation engine the machine runs on.
-func (m *Machine) Engine() *sim.Engine { return m.eng }
+// Scheduler returns the event scheduler the machine runs on (the serial
+// engine, or the machine's partition handle in a parallel run).
+func (m *Machine) Scheduler() sim.Scheduler { return m.eng }
 
 // instrTime converts instructions to time on this machine's core.
 func (m *Machine) instrTime(instr int64) sim.Duration { return m.cfg.CPU.Time(instr) }

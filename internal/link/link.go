@@ -25,10 +25,11 @@ func (f EndpointFunc) Receive(pkt *packet.Packet) { f(pkt) }
 
 // Link is a simplex link from a transmitter to an endpoint.
 type Link struct {
-	eng  *sim.Engine
-	dst  Endpoint
-	rate int64        // bits per second
-	prop sim.Duration // propagation delay
+	sched   sim.Scheduler
+	deliver sim.Scheduler // scheduler for the delivery event; defaults to sched
+	dst     Endpoint
+	rate    int64        // bits per second
+	prop    sim.Duration // propagation delay
 
 	nextFree sim.Time // when the transmit side is next idle
 
@@ -38,12 +39,18 @@ type Link struct {
 
 // New creates a link delivering to dst at the given rate (bits per second)
 // with the given propagation delay.
-func New(eng *sim.Engine, dst Endpoint, bitsPerSecond int64, prop sim.Duration) *Link {
+func New(sched sim.Scheduler, dst Endpoint, bitsPerSecond int64, prop sim.Duration) *Link {
 	if bitsPerSecond <= 0 {
 		panic("link: non-positive rate")
 	}
-	return &Link{eng: eng, dst: dst, rate: bitsPerSecond, prop: prop}
+	return &Link{sched: sched, deliver: sched, dst: dst, rate: bitsPerSecond, prop: prop}
 }
+
+// SetDeliverySched reroutes the delivery event onto s. A link whose endpoints
+// live in different partitions of a parallel run keeps transmit-side
+// bookkeeping on its local scheduler but must hand the arrival to the remote
+// partition (via a ParallelEngine Cross scheduler).
+func (l *Link) SetDeliverySched(s sim.Scheduler) { l.deliver = s }
 
 // Rate returns the link rate in bits per second.
 func (l *Link) Rate() int64 { return l.rate }
@@ -71,7 +78,7 @@ func (l *Link) FreeAt() sim.Time { return l.nextFree }
 // schedule their next dequeue. Pacing is the caller's job; the link
 // tolerates back-to-back sends by queueing in time.
 func (l *Link) Send(pkt *packet.Packet) (txDone sim.Time) {
-	return l.SendFrom(l.eng.Now(), pkt)
+	return l.SendFrom(l.sched.Now(), pkt)
 }
 
 // SendFrom is Send with an explicit earliest transmission-start time, which
@@ -93,12 +100,12 @@ func (l *Link) SendFrom(earliest sim.Time, pkt *packet.Packet) (txDone sim.Time)
 
 	pkt.FirstBitArrival = start.Add(l.prop)
 	deliver := txDone.Add(l.prop)
-	now := l.eng.Now()
+	now := l.sched.Now()
 	if deliver < now {
 		deliver = now
 	}
 	dst := l.dst
-	l.eng.At(deliver, func() { dst.Receive(pkt) })
+	l.deliver.At(deliver, func() { dst.Receive(pkt) })
 	return txDone
 }
 

@@ -59,7 +59,7 @@ type Stats struct {
 
 // NIC is one simulated network interface.
 type NIC struct {
-	eng    *sim.Engine
+	sched  sim.Scheduler
 	params Params
 	wire   *link.Link // egress link to the ToR switch
 
@@ -84,12 +84,12 @@ type NIC struct {
 }
 
 // New creates a NIC transmitting on wire.
-func New(eng *sim.Engine, params Params, wire *link.Link) (*NIC, error) {
+func New(sched sim.Scheduler, params Params, wire *link.Link) (*NIC, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	return &NIC{
-		eng:          eng,
+		sched:        sched,
 		params:       params,
 		wire:         wire,
 		rxIntEnabled: true,
@@ -126,9 +126,9 @@ func (n *NIC) kickTx() {
 	}
 	pkt := n.txq[0]
 	n.txBusy = true
-	pkt.SentAt = n.eng.Now()
+	pkt.SentAt = n.sched.Now()
 	txDone := n.wire.Send(pkt)
-	n.eng.At(txDone, func() {
+	n.sched.At(txDone, func() {
 		n.txq = n.txq[1:]
 		n.txBusy = false
 		n.Stats.TxPackets++
@@ -156,18 +156,18 @@ func (n *NIC) maybeRaiseRxInt() {
 	if !n.rxIntEnabled || n.rxIntPending || len(n.rxq) == 0 {
 		return
 	}
-	now := n.eng.Now()
+	now := n.sched.Now()
 	fire := n.lastRxInt.Add(sim.Duration(n.params.RxITR))
 	if fire < now {
 		fire = now
 	}
 	n.rxIntPending = true
-	n.eng.At(fire, func() {
+	n.sched.At(fire, func() {
 		n.rxIntPending = false
 		if !n.rxIntEnabled || len(n.rxq) == 0 {
 			return
 		}
-		n.lastRxInt = n.eng.Now()
+		n.lastRxInt = n.sched.Now()
 		n.Stats.RxIRQs++
 		if n.OnRxInterrupt != nil {
 			n.OnRxInterrupt()

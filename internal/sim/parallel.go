@@ -4,32 +4,47 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// ParallelEngine runs several Engines (partitions) concurrently under
-// conservative quantum-barrier synchronization. It mirrors DIABLO's physical
-// organization: each FPGA ran its own simulation scheduler and synchronized
-// with its neighbours over serial links at a granularity bounded by the
-// target link latency. Here a partition is typically one simulated rack, the
-// quantum is the minimum latency of any inter-partition link, and
-// cross-partition packets are exchanged only at barriers.
+// ParallelEngine runs several partitions under conservative quantum-barrier
+// synchronization. It mirrors DIABLO's physical organization: each FPGA ran
+// its own simulation scheduler and synchronized with its neighbours over
+// serial links at a granularity bounded by the target link latency. Here a
+// partition is typically one simulated rack (plus one partition for the
+// aggregation fabric), the quantum is the minimum latency of any
+// inter-partition link, and cross-partition events are exchanged only at
+// quantum barriers.
+//
+// Quantum boundaries lie on a fixed grid (integer multiples of the quantum),
+// so the barrier schedule — and therefore the event order — is a property of
+// the model, not of the execution: running the same model with 1, 2 or N
+// worker threads produces byte-identical results.
 //
 // Determinism: each partition's engine is deterministic on its own, and
 // cross-partition messages are merged in (time, source partition, send
-// sequence) order before being scheduled, so a parallel run produces results
-// identical to a sequential run of the same model (asserted in tests).
+// sequence) order before being scheduled, so a run's outcome is a pure
+// function of the model and its seeds regardless of worker count (asserted
+// in tests).
 type ParallelEngine struct {
-	parts    []*partition
-	quantum  Duration
-	now      Time
-	workers  int
-	barrier  sync.WaitGroup
+	parts   []*Partition
+	quantum Duration
+	now     Time
+	qEnd    Time // end of the quantum currently executing (Send's horizon)
+	workers int
+	stop    atomic.Bool
+
+	// Executed sums dispatched events across partitions after each run.
 	Executed uint64
 }
 
-type partition struct {
+// Partition is the per-partition scheduling handle. It satisfies Scheduler,
+// so model components wired into partition i schedule local events through
+// it exactly as they would on a sequential Engine.
+type Partition struct {
+	pe      *ParallelEngine
 	id      int
-	engine  *Engine
+	eng     *Engine
 	outbox  []xmsg
 	sendSeq uint64
 }
@@ -43,9 +58,9 @@ type xmsg struct {
 	fn  func()
 }
 
-// NewParallelEngine creates an engine with n partitions synchronized every
-// quantum of simulated time. quantum must be at most the minimum latency of
-// any cross-partition interaction in the model, or causality would break;
+// NewParallelEngine creates an engine with n partitions synchronized on a
+// quantum-aligned barrier grid. quantum must be at most the minimum latency
+// of any cross-partition interaction in the model, or causality would break;
 // the Send method enforces this at runtime.
 func NewParallelEngine(n int, quantum Duration) *ParallelEngine {
 	if n <= 0 {
@@ -54,83 +69,152 @@ func NewParallelEngine(n int, quantum Duration) *ParallelEngine {
 	if quantum <= 0 {
 		panic("sim: quantum must be positive")
 	}
-	pe := &ParallelEngine{quantum: quantum, workers: n}
+	pe := &ParallelEngine{quantum: quantum, workers: 1}
 	for i := 0; i < n; i++ {
-		pe.parts = append(pe.parts, &partition{id: i, engine: NewEngine()})
+		pe.parts = append(pe.parts, &Partition{pe: pe, id: i, eng: NewEngine()})
 	}
 	return pe
 }
 
-// Partition returns the engine for partition i. Model components in
-// partition i must schedule all their local events on this engine.
-func (pe *ParallelEngine) Partition(i int) *Engine { return pe.parts[i].engine }
+// Partition returns the scheduling handle for partition i. Model components
+// in partition i must schedule all their local events through this handle.
+func (pe *ParallelEngine) Partition(i int) *Partition { return pe.parts[i] }
 
 // Partitions returns the number of partitions.
 func (pe *ParallelEngine) Partitions() int { return len(pe.parts) }
 
+// Quantum returns the synchronization quantum.
+func (pe *ParallelEngine) Quantum() Duration { return pe.quantum }
+
 // Now returns the last completed barrier time.
 func (pe *ParallelEngine) Now() Time { return pe.now }
 
+// SetWorkers sets the number of OS-level worker goroutines that execute
+// partitions each quantum. Worker count affects wall-clock speed only, never
+// results: partitions are statically assigned to workers and every quantum
+// is a full barrier. Values are clamped to [1, Partitions()]; 1 (the
+// default) runs every partition inline on the caller's goroutine.
+func (pe *ParallelEngine) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	if w > len(pe.parts) {
+		w = len(pe.parts)
+	}
+	pe.workers = w
+}
+
+// Workers returns the configured worker count.
+func (pe *ParallelEngine) Workers() int { return pe.workers }
+
+// Halt requests that the run stop at the next quantum barrier. It is safe to
+// call from any partition's event context during a run: the current quantum
+// completes in full (on every partition) and pending cross-partition
+// messages are exchanged before RunUntil returns, so a halted run remains
+// deterministic and resumable.
+func (pe *ParallelEngine) Halt() { pe.stop.Store(true) }
+
+// ID returns the partition index.
+func (p *Partition) ID() int { return p.id }
+
+// Now returns the partition's local simulated time. Within a quantum this
+// may run ahead of other partitions; it never exceeds the quantum boundary.
+func (p *Partition) Now() Time { return p.eng.Now() }
+
+// At schedules fn locally at the absolute time at.
+func (p *Partition) At(at Time, fn func()) EventID { return p.eng.At(at, fn) }
+
+// After schedules fn locally d after the partition's current time.
+func (p *Partition) After(d Duration, fn func()) EventID { return p.eng.After(d, fn) }
+
+// Cancel prevents a locally scheduled event from running.
+func (p *Partition) Cancel(id EventID) { p.eng.Cancel(id) }
+
+// Pending reports the number of events queued on the partition.
+func (p *Partition) Pending() int { return p.eng.Pending() }
+
+// Send delivers fn to partition dst at absolute time at; it is shorthand for
+// ParallelEngine.Send from this partition.
+func (p *Partition) Send(dst int, at Time, fn func()) { p.pe.Send(p.id, dst, at, fn) }
+
 // Send delivers fn to partition dst at absolute time at. It must be called
 // from within partition src (i.e., from an event callback running on
-// partition src's engine). at must be at least one quantum in the future
-// relative to the current quantum's end; this is the conservative-lookahead
-// requirement.
+// partition src's engine). at must not precede the end of the executing
+// quantum; this is the conservative-lookahead requirement that lets
+// partitions run a full quantum without hearing from their neighbours.
 func (pe *ParallelEngine) Send(src, dst int, at Time, fn func()) {
 	p := pe.parts[src]
-	qEnd := pe.now.Add(pe.quantum)
-	if at < qEnd {
-		panic(fmt.Sprintf("sim: cross-partition send at %v violates lookahead (quantum ends %v)", at, qEnd))
+	if at < pe.qEnd {
+		panic(fmt.Sprintf(
+			"sim: cross-partition send %d->%d at %v violates conservative lookahead: "+
+				"the current quantum ends at %v (quantum %v), so cross-partition events must "+
+				"be scheduled at or after the barrier; lower the engine quantum below the "+
+				"minimum inter-partition link latency",
+			src, dst, at, pe.qEnd, pe.quantum))
 	}
 	p.sendSeq++
 	p.outbox = append(p.outbox, xmsg{at: at, src: src, seq: p.sendSeq, dst: dst, fn: fn})
 }
 
-// RunUntil advances all partitions to the deadline, one quantum at a time.
+// gridNext returns the earliest quantum-grid boundary strictly after t.
+func (pe *ParallelEngine) gridNext(t Time) Time {
+	q := Time(pe.quantum)
+	return (t/q + 1) * q
+}
+
+// gridPrev returns the latest quantum-grid boundary strictly before t.
+func (pe *ParallelEngine) gridPrev(t Time) Time {
+	q := Time(pe.quantum)
+	return (t - 1) / q * q
+}
+
+// RunUntil advances all partitions to the deadline, one grid-aligned quantum
+// at a time, exchanging cross-partition messages at each barrier. It returns
+// early when every queue drains or when Halt is called.
 func (pe *ParallelEngine) RunUntil(deadline Time) {
-	for pe.now < deadline {
-		qEnd := pe.now.Add(pe.quantum)
-		if qEnd > deadline {
-			qEnd = deadline
-		}
-		// Skip ahead over quiet periods: if no partition has an event before
-		// qEnd and no messages are in flight, jump to the earliest event.
+	pe.stop.Store(false)
+	var pool *workerPool
+	if pe.workers > 1 {
+		pool = newWorkerPool(pe.parts, pe.workers)
+		defer pool.close()
+	}
+
+	for pe.now < deadline && !pe.stop.Load() {
+		// Skip ahead over quiet periods: if no partition has an event in the
+		// next quantum, jump to the quantum containing the earliest event.
+		// Outboxes are always empty here (flushed at the previous barrier).
 		earliest := Never
 		for _, p := range pe.parts {
-			if t := p.engine.NextEventTime(); t < earliest {
+			if t := p.eng.NextEventTime(); t < earliest {
 				earliest = t
 			}
 		}
-		if earliest == Never {
+		if earliest == Never || earliest > deadline {
 			pe.now = deadline
 			break
 		}
-		if earliest >= qEnd {
-			// Align the jump to a quantum boundary containing the event.
-			n := Duration(earliest-pe.now) / pe.quantum
-			pe.now = pe.now.Add(n * pe.quantum)
-			qEnd = pe.now.Add(pe.quantum)
-			if qEnd > deadline {
-				qEnd = deadline
-			}
+		if g := pe.gridPrev(earliest); g > pe.now {
+			pe.now = g
 		}
+		qEnd := pe.gridNext(pe.now)
+		if qEnd > deadline {
+			qEnd = deadline
+		}
+		pe.qEnd = qEnd
 
-		// Run every partition up to the quantum boundary, in parallel.
-		if len(pe.parts) == 1 {
-			pe.parts[0].engine.RunUntil(qEnd)
+		// Run every partition up to the barrier.
+		if pool != nil {
+			pool.runQuantum(qEnd)
 		} else {
-			pe.barrier.Add(len(pe.parts))
 			for _, p := range pe.parts {
-				go func(p *partition) {
-					defer pe.barrier.Done()
-					p.engine.RunUntil(qEnd)
-				}(p)
+				p.eng.RunUntil(qEnd)
 			}
-			pe.barrier.Wait()
 		}
 		pe.now = qEnd
 
-		// Exchange cross-partition messages deterministically.
+		// Exchange cross-partition messages deterministically: merge in
+		// (time, source partition, send sequence) order, a total order that
+		// depends only on the model.
 		var pending []xmsg
 		for _, p := range pe.parts {
 			pending = append(pending, p.outbox...)
@@ -147,19 +231,30 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 			return a.seq < b.seq
 		})
 		for _, m := range pending {
-			pe.parts[m.dst].engine.At(m.at, m.fn)
+			pe.parts[m.dst].eng.At(m.at, m.fn)
+		}
+	}
+
+	// On a drained or deadline exit, advance lagging partition clocks to the
+	// deadline (as the sequential engine does); a Halt freezes them at the
+	// last completed barrier instead.
+	if !pe.stop.Load() && deadline != Never {
+		for _, p := range pe.parts {
+			if p.eng.Now() < deadline {
+				p.eng.RunUntil(deadline)
+			}
 		}
 	}
 	pe.Executed = 0
 	for _, p := range pe.parts {
-		pe.Executed += p.engine.Executed
+		pe.Executed += p.eng.Executed
 	}
 }
 
 // Drained reports whether every partition's queue is empty.
 func (pe *ParallelEngine) Drained() bool {
 	for _, p := range pe.parts {
-		if p.engine.NextEventTime() != Never {
+		if p.eng.NextEventTime() != Never {
 			return false
 		}
 		if len(p.outbox) > 0 {
@@ -167,4 +262,75 @@ func (pe *ParallelEngine) Drained() bool {
 		}
 	}
 	return true
+}
+
+// Cross returns a Scheduler that, from event context in partition src,
+// schedules events onto partition dst. Now reads the source partition's
+// clock; At and After route through Send, so the conservative-lookahead rule
+// applies and the returned EventID is zero (cross-partition events cannot be
+// cancelled). Links that span partitions are wired with a Cross scheduler as
+// their delivery side.
+func (pe *ParallelEngine) Cross(src, dst int) Scheduler {
+	return crossScheduler{pe: pe, src: src, dst: dst}
+}
+
+type crossScheduler struct {
+	pe       *ParallelEngine
+	src, dst int
+}
+
+func (c crossScheduler) Now() Time { return c.pe.parts[c.src].eng.Now() }
+
+func (c crossScheduler) At(at Time, fn func()) EventID {
+	c.pe.Send(c.src, c.dst, at, fn)
+	return EventID{}
+}
+
+func (c crossScheduler) After(d Duration, fn func()) EventID {
+	return c.At(c.Now().Add(d), fn)
+}
+
+func (c crossScheduler) Cancel(EventID) {}
+
+// workerPool executes partitions across a fixed set of goroutines with a
+// static, contiguous partition assignment (worker w owns partitions
+// [w*n/W, (w+1)*n/W)), so the mapping — and the results — never depend on
+// scheduling luck.
+type workerPool struct {
+	start []chan Time
+	wg    sync.WaitGroup
+}
+
+func newWorkerPool(parts []*Partition, workers int) *workerPool {
+	pool := &workerPool{start: make([]chan Time, workers)}
+	n := len(parts)
+	for w := 0; w < workers; w++ {
+		owned := parts[w*n/workers : (w+1)*n/workers]
+		ch := make(chan Time)
+		pool.start[w] = ch
+		go func() {
+			for qEnd := range ch {
+				for _, p := range owned {
+					p.eng.RunUntil(qEnd)
+				}
+				pool.wg.Done()
+			}
+		}()
+	}
+	return pool
+}
+
+// runQuantum advances every partition to qEnd and waits for the barrier.
+func (pool *workerPool) runQuantum(qEnd Time) {
+	pool.wg.Add(len(pool.start))
+	for _, ch := range pool.start {
+		ch <- qEnd
+	}
+	pool.wg.Wait()
+}
+
+func (pool *workerPool) close() {
+	for _, ch := range pool.start {
+		close(ch)
+	}
 }

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// ringModel builds a communicating ring over n partitions: each partition
+// runs a local tick chain and periodically passes a token to its neighbour.
+// It returns the per-partition observation logs, which must be identical
+// for every worker count.
+func runRing(n, workers int, until Time) [][]pingRecord {
+	const latency = 3 * Microsecond
+	pe := NewParallelEngine(n, latency)
+	pe.SetWorkers(workers)
+	logs := make([][]pingRecord, n)
+	ticks := make([]func(hop int), n) // per-partition; only its own partition runs it
+	for p := 0; p < n; p++ {
+		p := p
+		part := pe.Partition(p)
+		ticks[p] = func(hop int) {
+			logs[p] = append(logs[p], pingRecord{p, part.Now(), hop})
+			if hop >= 40 {
+				return
+			}
+			part.After(700*Nanosecond, func() { ticks[p](hop + 1) })
+			if hop%5 == p%3 {
+				next := (p + 1) % n
+				part.Send(next, part.Now().Add(latency), func() { ticks[next](hop + 2) })
+			}
+		}
+		part.At(Time(p)*Time(100*Nanosecond), func() { ticks[p](0) })
+	}
+	pe.RunUntil(until)
+	return logs
+}
+
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	// The worker count is pure execution parallelism: partition layout,
+	// quantum grid and message merge order are properties of the model, so
+	// every worker count must produce identical logs.
+	const n = 6
+	until := Time(400 * Microsecond)
+	want := runRing(n, 1, until)
+	for _, workers := range []int{2, 3, 6, 64} {
+		got := runRing(n, workers, until)
+		for p := 0; p < n; p++ {
+			if len(got[p]) != len(want[p]) {
+				t.Fatalf("workers=%d partition %d: %d records, want %d",
+					workers, p, len(got[p]), len(want[p]))
+			}
+			for i := range want[p] {
+				if got[p][i] != want[p][i] {
+					t.Fatalf("workers=%d partition %d record %d: got %+v want %+v",
+						workers, p, i, got[p][i], want[p][i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelLookaheadPanicMessage(t *testing.T) {
+	pe := NewParallelEngine(2, Microsecond)
+	var msg string
+	pe.Partition(0).At(Time(100*Nanosecond), func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			}
+		}()
+		pe.Send(0, 1, pe.Partition(0).Now(), func() {})
+	})
+	pe.RunUntil(Time(10 * Microsecond))
+	if msg == "" {
+		t.Fatal("lookahead violation did not panic with a string message")
+	}
+	// The message must identify the offending send and explain the rule well
+	// enough to act on: endpoints, times, and the quantum.
+	for _, want := range []string{"0->1", "lookahead", "quantum", "100ns", "1us"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestParallelSendAtBarrierIsLegal(t *testing.T) {
+	// An event timestamped exactly at the quantum boundary belongs to the
+	// next quantum on the receiver, so sending it must not panic.
+	pe := NewParallelEngine(2, Microsecond)
+	fired := false
+	pe.Partition(0).At(0, func() {
+		pe.Send(0, 1, Time(Microsecond), func() { fired = true })
+	})
+	pe.RunUntil(Time(5 * Microsecond))
+	if !fired {
+		t.Fatal("message at the exact barrier time was not delivered")
+	}
+	if got := pe.Partition(1).Now(); got < Time(Microsecond) {
+		t.Fatalf("receiver clock %v never reached the delivery time", got)
+	}
+}
+
+func TestParallelHaltStopsAtBarrier(t *testing.T) {
+	// Halt from event context must complete the current quantum everywhere
+	// (no partial partitions), then stop — identically at any worker count.
+	run := func(workers int) (Time, int) {
+		const q = Microsecond
+		pe := NewParallelEngine(3, q)
+		pe.SetWorkers(workers)
+		var executed [3]int // per-partition: counted only from its own context
+		for p := 0; p < 3; p++ {
+			p := p
+			part := pe.Partition(p)
+			for i := 0; i < 30; i++ {
+				part.At(Time(i)*Time(300*Nanosecond), func() { executed[p]++ })
+			}
+		}
+		pe.Partition(1).At(Time(2500*Nanosecond), func() { pe.Halt() })
+		pe.RunUntil(Time(Second))
+		return pe.Now(), executed[0] + executed[1] + executed[2]
+	}
+	wantNow, wantExec := run(1)
+	if wantNow != Time(3*Microsecond) {
+		t.Fatalf("halt stopped at %v, want the enclosing barrier 3µs", wantNow)
+	}
+	for _, workers := range []int{2, 3} {
+		gotNow, gotExec := run(workers)
+		if gotNow != wantNow || gotExec != wantExec {
+			t.Fatalf("workers=%d: halted at %v after %d events; workers=1: %v after %d",
+				workers, gotNow, gotExec, wantNow, wantExec)
+		}
+	}
+}
+
+func TestParallelCrossScheduler(t *testing.T) {
+	pe := NewParallelEngine(2, Microsecond)
+	xs := pe.Cross(0, 1)
+	var deliveredAt Time
+	pe.Partition(0).At(Time(200*Nanosecond), func() {
+		if xs.Now() != Time(200*Nanosecond) {
+			t.Errorf("cross Now = %v, want source-partition clock 200ns", xs.Now())
+		}
+		if id := xs.After(2*Microsecond, func() { deliveredAt = pe.Partition(1).Now() }); id != (EventID{}) {
+			t.Errorf("cross-partition events must return the zero EventID, got %+v", id)
+		}
+		xs.Cancel(EventID{}) // must be a harmless no-op
+	})
+	pe.RunUntil(Time(10 * Microsecond))
+	if deliveredAt != Time(2200*Nanosecond) {
+		t.Fatalf("cross event ran at %v, want 2.2µs on the destination clock", deliveredAt)
+	}
+}

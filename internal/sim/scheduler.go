@@ -1,0 +1,49 @@
+package sim
+
+// Scheduler is the engine-agnostic event-scheduling surface every model
+// component programs against. It is satisfied by the sequential *Engine and
+// by the per-partition handles of the ParallelEngine, so a NIC, link, switch
+// or kernel model is oblivious to whether it runs under the single-threaded
+// engine or inside one partition of a conservatively synchronized parallel
+// run (DIABLO's one-rack-per-FPGA organization).
+//
+// All methods must be invoked from the scheduler's own event context (or
+// before the run starts): a component in partition i may only call the
+// Scheduler it was wired with. Cross-partition interaction goes through
+// ParallelEngine.Send or a Cross scheduler, never through another
+// partition's local Scheduler.
+type Scheduler interface {
+	// Now returns the current simulated time.
+	Now() Time
+	// At schedules fn at the absolute time at (panics if at < Now).
+	At(at Time, fn func()) EventID
+	// After schedules fn d after the current time (panics if d < 0).
+	After(d Duration, fn func()) EventID
+	// Cancel prevents a scheduled event from running; cancelling a fired or
+	// zero EventID is a no-op. Cross-partition events are not cancellable
+	// (their Scheduler returns the zero EventID).
+	Cancel(id EventID)
+}
+
+// Runner extends Scheduler with run control for code that drives an engine
+// directly (tests, tools, the experiment harness).
+type Runner interface {
+	Scheduler
+	// Run dispatches events until the queue drains or Halt is called.
+	Run()
+	// RunUntil dispatches events with timestamps <= deadline.
+	RunUntil(deadline Time)
+	// Step dispatches the single next event, if any.
+	Step() bool
+	// Halt stops the run loop after the current event returns.
+	Halt()
+	// Pending reports the number of queued events.
+	Pending() int
+}
+
+// Compile-time interface checks.
+var (
+	_ Runner    = (*Engine)(nil)
+	_ Scheduler = (*Partition)(nil)
+	_ Scheduler = crossScheduler{}
+)

@@ -10,7 +10,7 @@ import (
 // testEnv is a loopback host: segments are delivered to the peer connection
 // after a fixed one-way delay, with an optional drop function.
 type testEnv struct {
-	eng   *sim.Engine
+	eng   sim.Runner
 	peer  *Conn
 	delay sim.Duration
 	drop  func(i int, pkt *packet.Packet) bool
@@ -31,7 +31,7 @@ func (e *testEnv) Output(pkt *packet.Packet) {
 
 // pair builds a connected client/server pair over loopback envs.
 type pair struct {
-	eng    *sim.Engine
+	eng    sim.Runner
 	client *Conn
 	server *Conn
 	cEnv   *testEnv

@@ -48,7 +48,7 @@ type outPort struct {
 // Switch is a configurable multi-port switch model. It is not safe for
 // concurrent use; all calls must come from its engine's event context.
 type Switch struct {
-	eng    *sim.Engine
+	sched  sim.Scheduler
 	params Params
 
 	in       []inPort
@@ -74,11 +74,11 @@ func (ip *inPort) Receive(pkt *packet.Packet) { ip.sw.receive(ip.index, pkt) }
 
 // New builds a switch from params. Egress links must be attached with
 // AttachOutput before traffic flows.
-func New(eng *sim.Engine, params Params) (*Switch, error) {
+func New(sched sim.Scheduler, params Params) (*Switch, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	sw := &Switch{eng: eng, params: params}
+	sw := &Switch{sched: sched, params: params}
 	sw.Stats.DropsByInput = make([]uint64, params.Ports)
 	sw.in = make([]inPort, params.Ports)
 	sw.out = make([]*outPort, params.Ports)
@@ -159,7 +159,7 @@ func (s *Switch) receive(in int, pkt *packet.Packet) {
 		s.Stats.PeakOccupied = s.occupied
 	}
 
-	now := s.eng.Now()
+	now := s.sched.Now()
 	lat := s.params.PortLatency + s.params.ExtraLatency
 	eligible := now.Add(lat) // store-and-forward: wait for the full frame
 	if s.params.CutThrough {
@@ -200,7 +200,7 @@ func (s *Switch) dispatch(op *outPort) {
 	if op.busy || op.queued == 0 {
 		return
 	}
-	now := s.eng.Now()
+	now := s.sched.Now()
 	var chosen *qpkt
 	var nextEligible = sim.Never
 
@@ -240,7 +240,7 @@ func (s *Switch) dispatch(op *outPort) {
 		// Nothing eligible yet; wake when the earliest head matures.
 		if nextEligible < op.wakeAt {
 			op.wakeAt = nextEligible
-			s.eng.At(nextEligible, func() {
+			s.sched.At(nextEligible, func() {
 				if op.wakeAt == nextEligible {
 					op.wakeAt = sim.Never
 				}
@@ -267,7 +267,7 @@ func (s *Switch) dispatch(op *outPort) {
 	if wake < now {
 		wake = now
 	}
-	s.eng.At(wake, func() {
+	s.sched.At(wake, func() {
 		op.busy = false
 		s.dispatch(op)
 	})
