@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet lint race check bench
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# simlint: the custom go/analysis suite enforcing the determinism and
+# scheduler contracts (see internal/analysis and DESIGN.md). Covers test
+# files; zero findings is a merge gate.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
 # Race-check the concurrency-bearing packages (the parallel engine and the
 # partitioned cluster). Much faster than racing the whole tree; `make check`
 # still races everything.
 race:
 	$(GO) test -race ./internal/sim ./internal/core
 
-# The full gate: vet + race-enabled tests across every package.
+# The full gate: vet + simlint + race-enabled tests across every package.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/simlint ./...
 	$(GO) test -race ./...
 
 bench:

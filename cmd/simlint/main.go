@@ -1,0 +1,71 @@
+// Simlint is the multichecker for the repo's determinism and scheduler
+// invariants (see internal/analysis). It type-checks the named packages
+// (./... by default, test files included) and reports every finding not
+// covered by a //simlint:allow suppression, exiting nonzero if any remain.
+//
+// Usage:
+//
+//	go run ./cmd/simlint [-run detlint,schedlint] [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diablo/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*run, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			failed = true
+			fmt.Println(f)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+func TestPackageClassification(t *testing.T) {
+	cases := []struct {
+		path                      string
+		model, strict, runControl bool
+	}{
+		{"diablo/internal/sim", true, false, true},
+		{"diablo/internal/core", true, false, true},
+		{"diablo/internal/nic", true, true, false},
+		{"diablo/internal/kernel", true, true, false},
+		{"diablo/internal/apps/memcache", true, true, false},
+		{"diablo/internal/metrics", false, false, false},
+		{"diablo/internal/survey", false, false, false},
+		{"diablo/cmd/diablo", false, false, true},
+		{"diablo/examples/quickstart", false, false, true},
+		{"diablo", false, false, true},
+		// A trailing /... segment inherits its subtree's class; an
+		// unrelated prefix-share (simulator vs sim) must not.
+		{"diablo/internal/sim/sub", true, false, true},
+		{"diablo/internal/simulator", false, false, false},
+	}
+	for _, c := range cases {
+		if got := IsModelPackage(c.path); got != c.model {
+			t.Errorf("IsModelPackage(%q) = %v, want %v", c.path, got, c.model)
+		}
+		if got := IsStrictModelPackage(c.path); got != c.strict {
+			t.Errorf("IsStrictModelPackage(%q) = %v, want %v", c.path, got, c.strict)
+		}
+		if got := IsRunControlAllowed(c.path); got != c.runControl {
+			t.Errorf("IsRunControlAllowed(%q) = %v, want %v", c.path, got, c.runControl)
+		}
+	}
+}
+
+// The acceptance gate in test form: the whole repository, test files
+// included, carries zero simlint findings.
+func TestRepoIsLintClean(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		findings, err := Run(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Error(f.String())
+		}
+	}
+}

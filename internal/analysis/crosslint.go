@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Crosslint keeps cross-partition machinery out of model components. In a
+// partitioned run, a component may only touch the one Scheduler it was wired
+// with; events for another partition must travel through ParallelEngine.Send
+// or a Cross scheduler installed by the wiring layer (core), which enforces
+// the conservative-lookahead rule at the quantum barrier. Model code that
+// names sim.Partition/sim.ParallelEngine, calls Send/Cross itself, or
+// schedules a closure on one scheduler that then schedules on a different
+// one, is reaching across the barrier — the exact state leak that breaks
+// worker-count-independent determinism.
+var Crosslint = &Analyzer{
+	Name: "crosslint",
+	Doc: "model code must not capture another partition's scheduler or " +
+		"bypass ParallelEngine.Send/Cross",
+	Run: runCrosslint,
+}
+
+func runCrosslint(pass *Pass) error {
+	if !IsStrictModelPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if pass.InTestFile(n.Pos()) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.Info.Uses[n]
+				if tn, ok := obj.(*types.TypeName); ok &&
+					(simObject(tn, "ParallelEngine") || simObject(tn, "Partition")) {
+					pass.Reportf(n.Pos(),
+						"cross-partition machinery (sim.%s) referenced in model code: partition "+
+							"wiring belongs to core; components see only their own sim.Scheduler", tn.Name())
+				}
+				if fn, ok := obj.(*types.Func); ok && simObject(fn, "NewParallelEngine") {
+					pass.Reportf(n.Pos(),
+						"model code must not construct a sim.ParallelEngine: partitioning is "+
+							"decided by the wiring layer (core)")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name, ok := simMethod(pass.Info, sel)
+				if !ok {
+					return true
+				}
+				switch name {
+				case "Send", "Cross":
+					pass.Reportf(n.Pos(),
+						"direct cross-partition %s call in model code: deliveries to another "+
+							"partition go through the Cross scheduler wired in by core", name)
+				case "At", "After":
+					checkForeignSchedulerInClosure(pass, n, sel)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForeignSchedulerInClosure inspects closures passed to recv.At/After:
+// if the closure body schedules through a *different* scheduler variable
+// than recv, the event, when it fires, will enqueue onto a scheduler it was
+// not wired with — on a partitioned run that is a write into another
+// partition's event queue outside the barrier protocol. (Identity is
+// compared per variable/field object: l.sched vs l.deliver are different,
+// successive uses of l.sched are the same.)
+func checkForeignSchedulerInClosure(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr) {
+	recvObj := schedulerObj(pass, sel.X)
+	if recvObj == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		fl, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			isel, ok := inner.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := simMethod(pass.Info, isel)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "At", "After", "Send", "Cancel":
+			default:
+				return true
+			}
+			if obj := schedulerObj(pass, isel.X); obj != nil && obj != recvObj {
+				pass.Reportf(inner.Pos(),
+					"closure scheduled on %s schedules through %s: an event must use only the "+
+						"scheduler it runs on; cross-partition delivery goes through a Cross "+
+						"scheduler wired by core", objLabel(recvObj), objLabel(obj))
+			}
+			return true
+		})
+	}
+}
+
+// schedulerObj resolves a scheduler-typed expression (a variable or a
+// selected field of static type sim.Scheduler) to its defining object, the
+// identity used to tell "same scheduler" from "different scheduler".
+func schedulerObj(pass *Pass, e ast.Expr) types.Object {
+	if !typeIs(pass.Info.TypeOf(e), SimPath, "Scheduler") {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[e]; ok {
+			return s.Obj()
+		}
+		return pass.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func objLabel(obj types.Object) string {
+	return obj.Name()
+}

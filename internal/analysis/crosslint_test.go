@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestCrosslintFixture(t *testing.T) {
+	RunFixture(t, Crosslint, "testdata/src/crosslint", "diablo/internal/nic/crossfixture")
+}
+
+func TestCrosslintSilentInHarnessPackages(t *testing.T) {
+	RunFixture(t, Crosslint, "testdata/src/scope_harness", "diablo/internal/core/fixture")
+}
+
+func TestCrosslintSilentOutsideModelPackages(t *testing.T) {
+	RunFixture(t, Crosslint, "testdata/src/scope_nonmodel", "diablo/internal/metrics/fixture")
+}

@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+func TestDetlintFixture(t *testing.T) {
+	RunFixture(t, Detlint, "testdata/src/detlint", "diablo/internal/nic/detfixture")
+}
+
+// The same sins under a non-model import path produce no findings.
+func TestDetlintSilentOutsideModelPackages(t *testing.T) {
+	RunFixture(t, Detlint, "testdata/src/scope_nonmodel", "diablo/internal/metrics/fixture")
+}

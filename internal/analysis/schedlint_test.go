@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestSchedlintFixture(t *testing.T) {
+	RunFixture(t, Schedlint, "testdata/src/schedlint", "diablo/internal/nic/schedfixture")
+}
+
+// Engine construction, run control and partition wiring are the harness
+// layer's job: under a core-classified import path schedlint stays silent.
+func TestSchedlintSilentInHarnessPackages(t *testing.T) {
+	RunFixture(t, Schedlint, "testdata/src/scope_harness", "diablo/internal/core/fixture")
+}

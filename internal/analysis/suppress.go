@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressPrefix introduces an inline suppression comment:
+//
+//	//simlint:allow <analyzer> <reason>
+//
+// The comment silences findings of the named analyzer (or every analyzer,
+// with the name "all") on its own line and on the line directly below it, so
+// it can trail the offending statement or sit on its own line above it. The
+// reason is mandatory and free-form; it is how a suppression stays honest —
+// the one place the codebase legitimately reads the wall clock
+// (core/section5.go measures simulator slowdown) carries one.
+const suppressPrefix = "simlint:allow"
+
+type allowEntry struct {
+	analyzer string
+	pos      token.Pos
+}
+
+// suppressions indexes every well-formed allow comment by file and line.
+type suppressions struct {
+	// byLine maps filename -> line -> entries allowed at that line.
+	byLine    map[string]map[int][]allowEntry
+	malformed []Diagnostic
+}
+
+// knownAnalyzers guards against typos in allow comments: suppressing a
+// nonexistent analyzer would silently suppress nothing forever.
+func knownAnalyzer(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]allowEntry)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, suppressPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, suppressPrefix))
+				switch {
+				case len(fields) == 0:
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed suppression: want //simlint:allow <analyzer> <reason>",
+					})
+					continue
+				case !knownAnalyzer(fields[0]):
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "suppression names unknown analyzer " + fields[0],
+					})
+					continue
+				case len(fields) < 2:
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "suppression without a reason: want //simlint:allow " + fields[0] + " <reason>",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				lines := s.byLine[p.Filename]
+				if lines == nil {
+					lines = make(map[int][]allowEntry)
+					s.byLine[p.Filename] = lines
+				}
+				e := allowEntry{analyzer: fields[0], pos: c.Pos()}
+				lines[p.Line] = append(lines[p.Line], e)
+				lines[p.Line+1] = append(lines[p.Line+1], e)
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether a finding of the named analyzer at pos is covered
+// by a suppression comment.
+func (s *suppressions) allows(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	for _, e := range s.byLine[p.Filename][p.Line] {
+		if e.analyzer == analyzer || e.analyzer == "all" {
+			return true
+		}
+	}
+	return false
+}

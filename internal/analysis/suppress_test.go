@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Malformed //simlint:allow comments are findings, not silent no-ops: a
+// typo'd suppression would otherwise look like it worked forever.
+func TestMalformedSuppressionsReported(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/badsuppress", "diablo/internal/nic/badfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkg, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		if f.Analyzer != "simlint" {
+			t.Errorf("unexpected %s finding: %s", f.Analyzer, f)
+			continue
+		}
+		got = append(got, f.Message)
+	}
+	wants := []string{
+		"malformed suppression",
+		"unknown analyzer nosuchlint",
+		"suppression without a reason",
+	}
+	if len(got) != len(wants) {
+		t.Fatalf("got %d suppression findings %v, want %d", len(got), got, len(wants))
+	}
+	for i, w := range wants {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("finding %d = %q, want substring %q", i, got[i], w)
+		}
+	}
+}

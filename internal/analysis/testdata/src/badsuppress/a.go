@@ -1,0 +1,12 @@
+// Package fixture carries malformed suppression comments; the framework
+// reports each one instead of silently ignoring it.
+package fixture
+
+//simlint:allow
+func missingEverything() {}
+
+//simlint:allow nosuchlint because reasons
+func unknownAnalyzer() {}
+
+//simlint:allow detlint
+func missingReason() {}

@@ -1,0 +1,42 @@
+// Package fixture exercises crosslint: cross-partition machinery and
+// foreign-scheduler captures in model code.
+package fixture
+
+import "diablo/internal/sim"
+
+type wiring struct {
+	pe *sim.ParallelEngine // want `cross-partition machinery \(sim\.ParallelEngine\)`
+}
+
+func construct(n int, q sim.Duration) {
+	_ = sim.NewParallelEngine(n, q) // want `must not construct a sim\.ParallelEngine`
+}
+
+func sends(p *sim.Partition, at sim.Time) { // want `cross-partition machinery \(sim\.Partition\)`
+	p.Send(1, at, func() {}) // want `direct cross-partition Send call`
+}
+
+type relay struct {
+	local  sim.Scheduler
+	remote sim.Scheduler
+}
+
+func (r *relay) leak(d sim.Duration) {
+	r.local.After(d, func() {
+		r.remote.After(d, func() {}) // want `closure scheduled on local schedules through remote`
+	})
+}
+
+func (r *relay) selfReschedule(d sim.Duration) {
+	r.local.After(d, func() {
+		r.local.After(d, func() {}) // rescheduling on the same scheduler: no finding
+	})
+}
+
+func (r *relay) directDelivery(d sim.Duration, deliver func()) {
+	// Scheduling on each scheduler from straight-line event code is the
+	// wired pattern (a link hands delivery to its delivery-side scheduler,
+	// which core may have made a Cross scheduler): no finding.
+	r.local.After(d, deliver)
+	r.remote.After(d, deliver)
+}

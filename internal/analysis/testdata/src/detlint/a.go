@@ -1,0 +1,50 @@
+// Package fixture exercises detlint: each marked line is a nondeterminism
+// vector that must be reported in a model package.
+package fixture
+
+import (
+	"math/rand" // want `model code must not import math/rand`
+	"time"
+
+	"diablo/internal/sim"
+)
+
+type model struct {
+	sched sim.Scheduler
+}
+
+func (m *model) tick() {}
+
+func (m *model) violations(pending map[int]sim.Duration) {
+	_ = time.Now()              // want `wall-clock time.Now`
+	_ = time.Since(time.Time{}) // want `wall-clock time.Since`
+	go m.tick()                 // want `go statement in model code`
+	_ = rand.Intn(4)
+	for _, d := range pending {
+		m.sched.After(d, m.tick) // want `event scheduled while ranging over a map`
+	}
+}
+
+func collect(ids map[int]struct{}) []int {
+	var out []int
+	for id := range ids {
+		out = append(out, id) // want `append to out while ranging over a map`
+	}
+	return out
+}
+
+func aggregate(counts map[int]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v // order-insensitive aggregation: no finding
+	}
+	return total
+}
+
+func localAppend(counts map[int]int) {
+	for k := range counts {
+		scratch := []int{}
+		scratch = append(scratch, k) // slice declared inside the loop: no finding
+		_ = scratch
+	}
+}

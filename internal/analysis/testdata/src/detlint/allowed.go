@@ -1,0 +1,12 @@
+// Suppressed findings carry no want comment: the harness fails on any
+// unexpected finding, so this file proves the //simlint:allow path end to
+// end, in both trailing and line-above placements.
+package fixture
+
+import "time"
+
+func measured() time.Duration {
+	start := time.Now() //simlint:allow detlint fixture: host-side self-measurement
+	//simlint:allow detlint fixture: suppression on the line above the use
+	return time.Since(start)
+}

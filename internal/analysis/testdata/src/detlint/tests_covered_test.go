@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+// detlint covers _test.go files too: a wall-clock read in a test makes the
+// test as host-dependent as it would make model code.
+func helperForTest() time.Time {
+	return time.Now() // want `wall-clock time.Now`
+}

@@ -1,0 +1,17 @@
+package fixture
+
+import "diablo/internal/sim"
+
+// Test files may construct and drive engines directly. This mirrors the
+// sequential engine's edge-case tests (empty heap, post-Halt behavior) as
+// known-good code: none of it may be reported.
+func driveEdgeCases() (int, sim.Time) {
+	eng := sim.NewEngine()
+	if eng.Step() {
+		panic("empty engine stepped")
+	}
+	eng.At(0, func() { eng.Halt() })
+	eng.Run()
+	eng.RunUntil(sim.Never)
+	return eng.Pending(), eng.NextEventTime()
+}

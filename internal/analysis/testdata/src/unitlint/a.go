@@ -1,0 +1,40 @@
+// Package fixture exercises unitlint: the boundary between host time
+// (time.Duration, nanoseconds) and simulated time (picoseconds).
+package fixture
+
+import (
+	"time"
+
+	"diablo/internal/sim"
+)
+
+func noop() {}
+
+func conversions(host time.Duration, simd sim.Duration) {
+	_ = sim.Duration(host)  // want `raw conversion of time.Duration \(nanoseconds\)`
+	_ = sim.Time(host)      // want `raw conversion of time.Duration \(nanoseconds\)`
+	_ = time.Duration(simd) // want `raw conversion of .*sim\.Duration \(picoseconds\)`
+
+	_ = sim.FromStd(host)       // sanctioned crossing: no finding
+	_ = simd.Std()              // sanctioned crossing: no finding
+	_ = sim.Duration(int64(42)) // unit-preserving conversion: no finding
+}
+
+func bareLiterals(s sim.Scheduler) {
+	s.After(5000, noop)               // want `bare literal 5000 passed as .*sim\.Duration`
+	s.At(12, noop)                    // want `bare literal 12 passed as .*sim\.Time`
+	s.After(100*sim.Nanosecond, noop) // scaled by a unit constant: no finding
+	s.After(0, noop)                  // zero is unit-free: no finding
+}
+
+type timeouts struct {
+	RTO   sim.Duration
+	Count int
+}
+
+func literals() timeouts {
+	return timeouts{
+		RTO:   250, // want `bare literal 250 assigned to .*sim\.Duration field RTO`
+		Count: 3,   // plain int field: no finding
+	}
+}

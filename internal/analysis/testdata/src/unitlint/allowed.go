@@ -1,0 +1,13 @@
+package fixture
+
+import (
+	"time"
+
+	"diablo/internal/sim"
+)
+
+// A sanctioned-crossing helper carries a suppression, exactly as sim.FromStd
+// and (sim.Duration).Std do in the real tree.
+func fromHost(d time.Duration) sim.Duration {
+	return sim.Duration(d) * sim.Nanosecond //simlint:allow unitlint fixture: this is the sanctioned crossing
+}

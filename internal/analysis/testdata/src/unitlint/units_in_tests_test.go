@@ -1,0 +1,9 @@
+package fixture
+
+import "diablo/internal/sim"
+
+// unitlint exempts _test.go files: unit tests legitimately poke raw
+// picosecond values at the engine.
+func pokeRawUnits(s sim.Scheduler) {
+	s.After(5000, noop)
+}

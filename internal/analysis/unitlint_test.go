@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestUnitlintFixture(t *testing.T) {
+	RunFixture(t, Unitlint, "testdata/src/unitlint", "diablo/internal/nic/unitfixture")
+}
+
+func TestUnitlintSilentOutsideModelPackages(t *testing.T) {
+	RunFixture(t, Unitlint, "testdata/src/scope_nonmodel", "diablo/internal/metrics/fixture")
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Deterministic replay: running the identical configuration twice in the
+// same process must reproduce every field of the result — histograms,
+// per-hop breakdowns, drop and retry counters, elapsed simulated time.
+// This complements the PR 1 determinism tests (which hold the run fixed and
+// vary partition/worker counts) by pinning the other axis: repeated runs.
+// simlint statically closes the loopholes (wall clock, unseeded randomness,
+// map-order scheduling) that would break exactly this property.
+
+func TestMemcachedReplayDeterminism(t *testing.T) {
+	cfg := smallMemcached()
+	cfg.RequestsPerClient = 15
+	first, err := RunMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("memcached replay diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+func TestMemcachedReplayDeterminismPartitioned(t *testing.T) {
+	cfg := smallMemcached()
+	cfg.RequestsPerClient = 15
+	cfg.Partitions = 4
+	first, err := RunMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("partitioned memcached replay diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+func TestIncastReplayDeterminism(t *testing.T) {
+	cfg := DefaultIncast(8)
+	cfg.Iterations = 6
+	first, err := RunIncast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunIncast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("incast replay diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

@@ -49,7 +49,10 @@ func (m *Machine) Spawn(name string, fn func(*Thread)) *Thread {
 	}
 	t.remaining = m.instrTime(m.cfg.Profile.SpawnInstr)
 	m.threads = append(m.threads, t)
-	go t.main(fn)
+	// Coroutine-style threading: at most one thread goroutine runs at a time,
+	// handed control through the resume/parked channels, so execution order is
+	// the engine's event order, not the Go scheduler's.
+	go t.main(fn) //simlint:allow detlint coroutine handoff: exactly one runnable goroutine, sequenced by the engine
 	// Enqueue via an event so the runqueue push happens inside the engine's
 	// run loop regardless of the caller's context.
 	m.eng.At(m.eng.Now(), func() {

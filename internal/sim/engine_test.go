@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -204,7 +203,7 @@ func TestEngineHeapProperty(t *testing.T) {
 // Property: interleaved schedule/cancel/step sequences never dispatch a
 // cancelled event and never dispatch out of time order.
 func TestEngineCancelProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := NewRand(42)
 	for iter := 0; iter < 100; iter++ {
 		e := NewEngine()
 		live := map[uint64]Time{}

@@ -308,7 +308,7 @@ func newWorkerPool(parts []*Partition, workers int) *workerPool {
 		owned := parts[w*n/workers : (w+1)*n/workers]
 		ch := make(chan Time)
 		pool.start[w] = ch
-		go func() {
+		go func() { //simlint:allow detlint engine-owned worker pool: static partition assignment, full barrier per quantum
 			for qEnd := range ch {
 				for _, p := range owned {
 					p.eng.RunUntil(qEnd)
