@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench
+.PHONY: build test vet lint race check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,10 @@ check:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x .
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+# Machine-readable performance trajectory: runs the §5 engine-comparison
+# probe, writes BENCH_results.json, and fails if sequential throughput
+# regresses >20% against the committed bench_baseline.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_results.json -baseline bench_baseline.json

@@ -231,11 +231,14 @@ func BenchmarkSection5Scaling(b *testing.B) {
 }
 
 func BenchmarkSection5EngineParallel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		seq, par := EngineComparison(8, 100_000)
-		b.ReportMetric(seq/1e6, "seq-Mev/s")
-		b.ReportMetric(par/1e6, "par-Mev/s")
-		b.ReportMetric(par/seq, "speedup-x")
+		st := EngineComparisonMeasured(8, 100_000)
+		b.ReportMetric(st.SeqEventsPerSec/1e6, "seq-Mev/s")
+		b.ReportMetric(st.ParEventsPerSec/1e6, "par-Mev/s")
+		b.ReportMetric(st.Speedup(), "speedup-x")
+		b.ReportMetric(st.SeqAllocsPerEvent, "seq-allocs/ev")
+		b.ReportMetric(st.ParAllocsPerEvent, "par-allocs/ev")
 	}
 }
 

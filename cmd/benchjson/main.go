@@ -1,0 +1,129 @@
+// Command benchjson runs the §5 engine-comparison probe and emits the
+// result as machine-readable JSON (BENCH_results.json), so the repo carries
+// a performance trajectory alongside its correctness gates. With -baseline
+// it also acts as a regression gate: if sequential-engine throughput falls
+// more than the tolerance below the committed baseline, it exits nonzero.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -o BENCH_results.json
+//	go run ./cmd/benchjson -o BENCH_results.json -baseline bench_baseline.json
+//
+// The baseline file uses the same schema as the output, so refreshing it is
+// just copying a BENCH_results.json produced on a reference machine (and
+// sandbagging the throughput numbers enough to absorb CI hardware variance).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"diablo/internal/core"
+)
+
+// benchReport is the schema of BENCH_results.json and bench_baseline.json.
+// Throughput fields are absolute for the machine that produced them; the
+// regression gate compares ratios, not absolutes, which is why the committed
+// baseline should be a conservative (sandbagged) reference value.
+type benchReport struct {
+	Schema           string           `json:"schema"`
+	GoVersion        string           `json:"go_version"`
+	NumCPU           int              `json:"num_cpu"`
+	EngineComparison engineComparison `json:"engine_comparison"`
+}
+
+type engineComparison struct {
+	Partitions         int     `json:"partitions"`
+	EventsPerPartition int     `json:"events_per_partition"`
+	SeqEventsPerSec    float64 `json:"seq_events_per_sec"`
+	ParEventsPerSec    float64 `json:"par_events_per_sec"`
+	SpeedupX           float64 `json:"speedup_x"`
+	SeqAllocsPerEvent  float64 `json:"seq_allocs_per_event"`
+	ParAllocsPerEvent  float64 `json:"par_allocs_per_event"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output path for the JSON report")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression of seq throughput vs baseline")
+	partitions := flag.Int("partitions", 8, "partitions in the engine-comparison model")
+	events := flag.Int("events", 100_000, "events per partition")
+	warmup := flag.Bool("warmup", true, "run one unmeasured warm-up pass first")
+	flag.Parse()
+
+	if *warmup {
+		// One throwaway pass so the measured run sees warmed allocator
+		// spans and a grown heap, mirroring what `go test -bench` does
+		// across b.N iterations.
+		core.EngineComparisonMeasured(*partitions, *events)
+	}
+	st := core.EngineComparisonMeasured(*partitions, *events)
+
+	rep := benchReport{
+		Schema:    "diablo-bench/v1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		EngineComparison: engineComparison{
+			Partitions:         *partitions,
+			EventsPerPartition: *events,
+			SeqEventsPerSec:    st.SeqEventsPerSec,
+			ParEventsPerSec:    st.ParEventsPerSec,
+			SpeedupX:           st.Speedup(),
+			SeqAllocsPerEvent:  st.SeqAllocsPerEvent,
+			ParAllocsPerEvent:  st.ParAllocsPerEvent,
+		},
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal report: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("engine comparison (%d partitions x %d events): seq %.2fM ev/s (%.2f allocs/ev), par %.2fM ev/s (%.2f allocs/ev), %.2fx\n",
+		*partitions, *events, st.SeqEventsPerSec/1e6, st.SeqAllocsPerEvent,
+		st.ParEventsPerSec/1e6, st.ParAllocsPerEvent, st.Speedup())
+	fmt.Printf("wrote %s\n", *out)
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		fatalf("load baseline: %v", err)
+	}
+	floor := base.EngineComparison.SeqEventsPerSec * (1 - *tolerance)
+	if st.SeqEventsPerSec < floor {
+		fatalf("REGRESSION: seq throughput %.2fM ev/s is below %.0f%% of baseline %.2fM ev/s (floor %.2fM)",
+			st.SeqEventsPerSec/1e6, (1-*tolerance)*100,
+			base.EngineComparison.SeqEventsPerSec/1e6, floor/1e6)
+	}
+	fmt.Printf("gate: seq %.2fM ev/s >= floor %.2fM ev/s (baseline %.2fM, tolerance %.0f%%) — ok\n",
+		st.SeqEventsPerSec/1e6, floor/1e6,
+		base.EngineComparison.SeqEventsPerSec/1e6, *tolerance*100)
+}
+
+func loadBaseline(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.EngineComparison.SeqEventsPerSec <= 0 {
+		return rep, fmt.Errorf("%s: missing or non-positive engine_comparison.seq_events_per_sec", path)
+	}
+	return rep, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -244,7 +244,12 @@ var (
 	V1417 = memcache.V1417
 
 	// Simulator performance (§5).
-	Section5Performance = core.Section5Performance
-	PerfTable           = core.PerfTable
-	EngineComparison    = core.EngineComparison
+	Section5Performance      = core.Section5Performance
+	PerfTable                = core.PerfTable
+	EngineComparison         = core.EngineComparison
+	EngineComparisonMeasured = core.EngineComparisonMeasured
 )
+
+// EngineComparisonStats carries the full engine-comparison measurement
+// (throughput and allocs/event for both engines); see core.EngineComparisonMeasured.
+type EngineComparisonStats = core.EngineComparisonStats

@@ -1,0 +1,65 @@
+// Spin-then-park barrier workers, the shape internal/sim's parallel engine
+// uses: detlint must flag the goroutine spawn unless it carries the
+// //simlint:allow annotation the engine's sanctioned worker pool uses. The
+// barrier body itself (atomics, cond waits, Gosched yields) is not a
+// finding — only the unannotated go statement is.
+package fixture
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type gate struct {
+	gen  atomic.Uint64
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (g *gate) await(last uint64) {
+	for i := 0; i < 64; i++ {
+		if g.gen.Load() != last {
+			return
+		}
+		runtime.Gosched()
+	}
+	g.mu.Lock()
+	for g.gen.Load() == last {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gate) work(arrived *atomic.Int32) {
+	last := g.gen.Load()
+	for {
+		g.await(last)
+		last++
+		arrived.Add(1)
+	}
+}
+
+// rogueBarrier is a copy of the engine's worker spawn without the
+// sanctioning annotation: it must fire.
+func rogueBarrier(workers int) *gate {
+	g := &gate{}
+	g.cond = sync.NewCond(&g.mu)
+	var arrived atomic.Int32
+	for w := 0; w < workers; w++ {
+		go g.work(&arrived) // want `go statement in model code`
+	}
+	return g
+}
+
+// sanctionedBarrier is the identical spawn carrying the engine-owned
+// annotation; no finding.
+func sanctionedBarrier(workers int) *gate {
+	g := &gate{}
+	g.cond = sync.NewCond(&g.mu)
+	var arrived atomic.Int32
+	for w := 0; w < workers; w++ {
+		go g.work(&arrived) //simlint:allow detlint fixture: engine-owned spin-then-park worker pool
+	}
+	return g
+}

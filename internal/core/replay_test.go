@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -43,6 +44,39 @@ func TestMemcachedReplayDeterminismPartitioned(t *testing.T) {
 	}
 	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("partitioned memcached replay diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestMemcachedReplayAcrossWorkerCounts crosses both axes over the tiered
+// event queue and the spin-then-park barrier: at 1, 2, and NumCPU workers,
+// repeated runs must replay byte-identically AND every worker count must
+// agree with the single-worker result. This is the determinism gate for the
+// hot-path engine work (tiered queue, generation-tagged cancellation,
+// allocation-free barrier exchange): any tie-break or merge-order slip in
+// those structures shows up here as a field-level diff.
+func TestMemcachedReplayAcrossWorkerCounts(t *testing.T) {
+	cfg := smallMemcached()
+	cfg.RequestsPerClient = 15
+	run := func(workers int) *MemcachedResult {
+		c := cfg
+		c.Partitions = workers
+		res, err := RunMemcached(c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, w := range workerCounts {
+		first := run(w)
+		second := run(w)
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("workers=%d replay diverged:\nfirst:  %+v\nsecond: %+v", w, first, second)
+		}
+		if !reflect.DeepEqual(first, want) {
+			t.Errorf("workers=%d diverged from workers=1:\n got %+v\nwant %+v", w, first, want)
+		}
 	}
 }
 

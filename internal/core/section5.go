@@ -79,6 +79,37 @@ func PerfTable(points []PerfPoint) *metrics.Table {
 	return tb
 }
 
+// EngineComparisonStats reports the engine-comparison probe (§5): event
+// throughput of the same synthetic communicating-racks model on the
+// sequential and quantum-barrier parallel engines, plus heap allocations per
+// dispatched event. Allocation counts come from runtime.MemStats deltas
+// around each run, so they include the model's own closure allocations —
+// what they track across PRs is the engine's hot-path contribution shrinking
+// toward that model floor.
+type EngineComparisonStats struct {
+	SeqEventsPerSec   float64
+	ParEventsPerSec   float64
+	SeqEvents         uint64
+	ParEvents         uint64
+	SeqAllocsPerEvent float64
+	ParAllocsPerEvent float64
+}
+
+// Speedup returns the parallel/sequential throughput ratio.
+func (s EngineComparisonStats) Speedup() float64 {
+	if s.SeqEventsPerSec == 0 {
+		return 0
+	}
+	return s.ParEventsPerSec / s.SeqEventsPerSec
+}
+
+// mallocs reads the cumulative heap allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
 // EngineComparison measures the sequential engine against the partitioned
 // parallel engine (DIABLO's multi-FPGA structure) on a synthetic
 // communicating-racks model: each partition runs a local event chain and
@@ -88,8 +119,17 @@ func PerfTable(points []PerfPoint) *metrics.Table {
 // inter-FPGA synchronization). It returns events/second for both
 // executions of the same model.
 func EngineComparison(partitions, eventsPerPartition int) (seqRate, parRate float64) {
+	st := EngineComparisonMeasured(partitions, eventsPerPartition)
+	return st.SeqEventsPerSec, st.ParEventsPerSec
+}
+
+// EngineComparisonMeasured is EngineComparison with the full measurement:
+// throughput plus allocs/event for both engines. It is the probe behind
+// BenchmarkSection5EngineParallel and cmd/benchjson's trajectory file.
+func EngineComparisonMeasured(partitions, eventsPerPartition int) EngineComparisonStats {
 	const lookahead = 100 * sim.Microsecond
 	deadline := sim.Time(sim.Second)
+	var st EngineComparisonStats
 
 	// Sequential run.
 	{
@@ -112,10 +152,15 @@ func EngineComparison(partitions, eventsPerPartition int) (seqRate, parRate floa
 			}
 			eng.At(0, tick)
 		}
+		allocs := mallocs()
 		start := time.Now() //simlint:allow detlint host-side self-measurement: events/second of the sequential engine
 		eng.RunUntil(deadline)
 		//simlint:allow detlint host-side self-measurement (wall-clock denominator)
-		seqRate = float64(eng.Executed) / time.Since(start).Seconds()
+		wall := time.Since(start).Seconds()
+		allocs = mallocs() - allocs
+		st.SeqEvents = eng.Executed
+		st.SeqEventsPerSec = float64(eng.Executed) / wall
+		st.SeqAllocsPerEvent = float64(allocs) / float64(eng.Executed)
 	}
 
 	// Parallel run of the same structure.
@@ -140,10 +185,15 @@ func EngineComparison(partitions, eventsPerPartition int) (seqRate, parRate floa
 			}
 			eng.At(0, tick)
 		}
+		allocs := mallocs()
 		start := time.Now() //simlint:allow detlint host-side self-measurement: events/second of the parallel engine
 		pe.RunUntil(deadline)
 		//simlint:allow detlint host-side self-measurement (wall-clock denominator)
-		parRate = float64(pe.Executed) / time.Since(start).Seconds()
+		wall := time.Since(start).Seconds()
+		allocs = mallocs() - allocs
+		st.ParEvents = pe.Executed
+		st.ParEventsPerSec = float64(pe.Executed) / wall
+		st.ParAllocsPerEvent = float64(allocs) / float64(pe.Executed)
 	}
-	return seqRate, parRate
+	return st
 }

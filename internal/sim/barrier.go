@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// phaser is a reusable generation gate: waiters block until the generation
+// advances past the value they last observed. Two phasers compose into the
+// parallel engine's sense-reversing quantum barrier (the generation counter
+// is the sense: nobody resets anything between quanta, so the gate is safe
+// to reuse for millions of barriers with zero allocation).
+//
+// await spins briefly on the atomic generation — a quantum on a balanced
+// model ends within microseconds, so the next release usually lands while
+// the waiter is still spinning — then parks on a condition variable so an
+// imbalanced or idle phase never burns a core. advance publishes the new
+// generation under the mutex, which is what makes the park path race-free:
+// a waiter that re-checks the generation while holding the lock cannot miss
+// a wakeup. Everything written before advance is visible to goroutines
+// returning from await (release/acquire via the generation atomic).
+type phaser struct {
+	gen  atomic.Uint64
+	mu   sync.Mutex
+	cond sync.Cond
+}
+
+const (
+	// barrierActiveSpins pure-spins on the generation word; short enough to
+	// be harmless when the release is not imminent.
+	barrierActiveSpins = 64
+	// barrierYieldSpins additionally yields the OS thread between probes
+	// before giving up and parking.
+	barrierYieldSpins = 256
+)
+
+func newPhaser() *phaser {
+	p := &phaser{}
+	p.cond.L = &p.mu
+	return p
+}
+
+// current returns the present generation, for a later await.
+func (p *phaser) current() uint64 { return p.gen.Load() }
+
+// advance opens the gate: it bumps the generation and wakes every parked
+// waiter.
+func (p *phaser) advance() {
+	p.mu.Lock()
+	p.gen.Add(1)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// await blocks until the generation differs from last, spinning first and
+// parking after the spin budget, and returns the generation it observed.
+func (p *phaser) await(last uint64) uint64 {
+	for i := 0; i < barrierActiveSpins+barrierYieldSpins; i++ {
+		if g := p.gen.Load(); g != last {
+			return g
+		}
+		if i >= barrierActiveSpins {
+			runtime.Gosched()
+		}
+	}
+	p.mu.Lock()
+	for p.gen.Load() == last {
+		p.cond.Wait()
+	}
+	g := p.gen.Load()
+	p.mu.Unlock()
+	return g
+}

@@ -1,35 +1,31 @@
 package sim
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are value types stored inline in the
-// queue to avoid per-event allocations on the hot path.
-type event struct {
-	at  Time
-	seq uint64 // tie-break: schedule order, makes execution deterministic
-	fn  func()
-}
-
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. It is a
+// (slot, generation) pair into the engine's slot table — see queue.go — so
+// cancellation is O(1) and a stale ID (fired, already cancelled, or simply
+// fabricated) is rejected by the generation check without touching any
+// structure. The zero EventID is invalid and Cancel ignores it.
 type EventID struct {
-	seq uint64
+	slot uint32 // 1-based slot index; 0 marks the zero (invalid) ID
+	gen  uint32
 }
 
 // Engine is a sequential discrete-event simulation engine. All model state is
 // owned by the engine's single logical thread of control: callbacks run one
 // at a time, in (time, schedule-order) order, so a simulation is a pure
 // function of its initial state and seeds.
+//
+// Events live in a tiered queue (near run / timing wheel / far heap, see
+// queue.go) that dispatches in exactly the order the original binary-heap
+// engine did, with O(1) scheduling and popping on the common near-future
+// path and no per-event map traffic.
 type Engine struct {
 	now    Time
 	seq    uint64
-	heap   []event
+	q      eventQueue
 	halted bool
-	// cancelled holds IDs of cancelled-but-not-yet-popped events. Cancelling
-	// is rare (mostly TCP retransmission timers), so a map is fine.
-	cancelled map[uint64]struct{}
 
 	// Executed counts dispatched events, for performance reporting (§5).
 	Executed uint64
@@ -37,23 +33,25 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{cancelled: make(map[uint64]struct{})}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
-// (before Now) panics: it would silently reorder causality.
+// (before Now) panics: it would silently reorder causality. Scheduling past
+// maxSchedulable (Never minus one wheel span, ≈ 106 simulated days) panics
+// too; use Never-bounded run deadlines, not Never-adjacent events.
 func (e *Engine) At(at Time, fn func()) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
+	if at > maxSchedulable {
+		panic(fmt.Sprintf("sim: event time %d ps is beyond the schedulable horizon", int64(at)))
+	}
 	e.seq++
-	ev := event{at: at, seq: e.seq, fn: fn}
-	e.heap = append(e.heap, ev)
-	e.up(len(e.heap) - 1)
-	return EventID{seq: e.seq}
+	return e.q.schedule(at, e.seq, fn)
 }
 
 // After schedules fn to run d after the current time.
@@ -67,15 +65,12 @@ func (e *Engine) After(d Duration, fn func()) EventID {
 // Cancel prevents a scheduled event from running. Cancelling an event that
 // has already fired (or was already cancelled) is a no-op.
 func (e *Engine) Cancel(id EventID) {
-	if id.seq == 0 {
-		return
-	}
-	e.cancelled[id.seq] = struct{}{}
+	e.q.cancel(id)
 }
 
 // Pending reports the number of events still queued (including cancelled
 // events not yet popped).
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.q.size() }
 
 // Halt stops the run loop after the current event returns.
 func (e *Engine) Halt() { e.halted = true }
@@ -90,20 +85,19 @@ func (e *Engine) Run() {
 // deadline are executed.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
-	for len(e.heap) > 0 && !e.halted {
-		top := &e.heap[0]
-		if top.at > deadline {
+	for !e.halted {
+		at, ok := e.q.peekLive()
+		if !ok {
+			break
+		}
+		if at > deadline {
 			e.now = deadline
 			return
 		}
-		ev := e.pop()
-		if _, dead := e.cancelled[ev.seq]; dead {
-			delete(e.cancelled, ev.seq)
-			continue
-		}
-		e.now = ev.at
+		_, fn := e.q.popHead()
+		e.now = at
 		e.Executed++
-		ev.fn()
+		fn()
 	}
 	// When the queue drains before the deadline, time still passes; a Halt,
 	// however, freezes the clock at the last dispatched event.
@@ -115,83 +109,25 @@ func (e *Engine) RunUntil(deadline Time) {
 // Step dispatches the single next live event, if any, and reports whether one
 // was dispatched.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.pop()
-		if _, dead := e.cancelled[ev.seq]; dead {
-			delete(e.cancelled, ev.seq)
-			continue
-		}
-		e.now = ev.at
-		e.Executed++
-		ev.fn()
-		return true
+	at, ok := e.q.peekLive()
+	if !ok {
+		return false
 	}
-	return false
+	_, fn := e.q.popHead()
+	e.now = at
+	e.Executed++
+	fn()
+	return true
 }
 
 // NextEventTime returns the timestamp of the earliest live event, or Never.
+// Cancelled events that surface at the head are discarded on the way (so
+// Pending may drop), exactly as the heap engine behaved.
 func (e *Engine) NextEventTime() Time {
-	for len(e.heap) > 0 {
-		top := e.heap[0]
-		if _, dead := e.cancelled[top.seq]; dead {
-			e.pop()
-			delete(e.cancelled, top.seq)
-			continue
-		}
-		return top.at
+	if at, ok := e.q.peekLive(); ok {
+		return at
 	}
 	return Never
-}
-
-// less orders events by (time, sequence) for deterministic dispatch.
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.heap[i], &e.heap[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
-			break
-		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
-		i = parent
-	}
-}
-
-func (e *Engine) down(i int) {
-	n := len(e.heap)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && e.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && e.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
-		i = smallest
-	}
-}
-
-func (e *Engine) pop() event {
-	n := len(e.heap)
-	top := e.heap[0]
-	e.heap[0] = e.heap[n-1]
-	e.heap[n-1] = event{} // release the closure for GC
-	e.heap = e.heap[:n-1]
-	if len(e.heap) > 0 {
-		e.down(0)
-	}
-	return top
 }
 
 // Progress describes how far a run has gone; used by the CLI tools for
@@ -205,6 +141,3 @@ type Progress struct {
 func (e *Engine) Progress() Progress {
 	return Progress{Now: e.now, Executed: e.Executed}
 }
-
-// sanity check for the float conversions used in metrics.
-var _ = math.MaxFloat64

@@ -2,8 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"slices"
 	"sync/atomic"
 )
 
@@ -26,6 +25,16 @@ import (
 // sequence) order before being scheduled, so a run's outcome is a pure
 // function of the model and its seeds regardless of worker count (asserted
 // in tests).
+//
+// The per-quantum machinery is engineered to stay off the allocator and off
+// the scheduler: workers synchronize through a reusable spin-then-park
+// generation barrier (see barrier.go) instead of per-quantum channel sends,
+// each quantum's earliest-next-event time is maintained incrementally
+// (per-worker minima reduced at the barrier plus the timestamps of delivered
+// messages) instead of re-scanning every partition, and the barrier message
+// exchange reuses one pending buffer and a typed sort. Barrier/sync cost is
+// what bounds parallel-simulation scaling, so these paths are benchmarked in
+// BenchmarkSection5EngineParallel and gated in CI (cmd/benchjson).
 type ParallelEngine struct {
 	parts   []*Partition
 	quantum Duration
@@ -33,6 +42,13 @@ type ParallelEngine struct {
 	qEnd    Time // end of the quantum currently executing (Send's horizon)
 	workers int
 	stop    atomic.Bool
+
+	// earliest caches the minimum NextEventTime across partitions; it is
+	// exact at every quantum barrier (workers fold their partitions' minima,
+	// message delivery folds in delivered timestamps).
+	earliest Time
+	// pending is the reusable barrier-exchange merge buffer.
+	pending []xmsg
 
 	// Executed sums dispatched events across partitions after each run.
 	Executed uint64
@@ -56,6 +72,26 @@ type xmsg struct {
 	seq uint64
 	dst int
 	fn  func()
+}
+
+// xmsgCompare orders messages in (time, source partition, send sequence)
+// order — the model-defined total order barrier merges use.
+func xmsgCompare(a, b xmsg) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.src < b.src:
+		return -1
+	case a.src > b.src:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
 }
 
 // NewParallelEngine creates an engine with n partitions synchronized on a
@@ -179,21 +215,24 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 		defer pool.close()
 	}
 
+	// Prime the earliest-event cache once; from here on it is maintained
+	// incrementally at each barrier instead of re-scanning every partition.
+	pe.earliest = Never
+	for _, p := range pe.parts {
+		if t := p.eng.NextEventTime(); t < pe.earliest {
+			pe.earliest = t
+		}
+	}
+
 	for pe.now < deadline && !pe.stop.Load() {
 		// Skip ahead over quiet periods: if no partition has an event in the
 		// next quantum, jump to the quantum containing the earliest event.
 		// Outboxes are always empty here (flushed at the previous barrier).
-		earliest := Never
-		for _, p := range pe.parts {
-			if t := p.eng.NextEventTime(); t < earliest {
-				earliest = t
-			}
-		}
-		if earliest == Never || earliest > deadline {
+		if pe.earliest == Never || pe.earliest > deadline {
 			pe.now = deadline
 			break
 		}
-		if g := pe.gridPrev(earliest); g > pe.now {
+		if g := pe.gridPrev(pe.earliest); g > pe.now {
 			pe.now = g
 		}
 		qEnd := pe.gridNext(pe.now)
@@ -202,37 +241,42 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 		}
 		pe.qEnd = qEnd
 
-		// Run every partition up to the barrier.
+		// Run every partition up to the barrier. Each executor also reports
+		// the minimum next-event time over the partitions it ran.
 		if pool != nil {
-			pool.runQuantum(qEnd)
+			pe.earliest = pool.runQuantum(qEnd)
 		} else {
+			pe.earliest = Never
 			for _, p := range pe.parts {
 				p.eng.RunUntil(qEnd)
+				if t := p.eng.NextEventTime(); t < pe.earliest {
+					pe.earliest = t
+				}
 			}
 		}
 		pe.now = qEnd
 
 		// Exchange cross-partition messages deterministically: merge in
 		// (time, source partition, send sequence) order, a total order that
-		// depends only on the model.
-		var pending []xmsg
+		// depends only on the model. The merge buffer and the outboxes are
+		// reused quantum after quantum — reset, never reallocated.
+		pending := pe.pending[:0]
 		for _, p := range pe.parts {
 			pending = append(pending, p.outbox...)
+			clear(p.outbox) // drop closure references, keep capacity
 			p.outbox = p.outbox[:0]
 		}
-		sort.Slice(pending, func(i, j int) bool {
-			a, b := pending[i], pending[j]
-			if a.at != b.at {
-				return a.at < b.at
-			}
-			if a.src != b.src {
-				return a.src < b.src
-			}
-			return a.seq < b.seq
-		})
+		if len(pending) > 1 {
+			slices.SortFunc(pending, xmsgCompare)
+		}
 		for _, m := range pending {
 			pe.parts[m.dst].eng.At(m.at, m.fn)
+			if m.at < pe.earliest {
+				pe.earliest = m.at
+			}
 		}
+		clear(pending) // release delivered closures held by the reused buffer
+		pe.pending = pending[:0]
 	}
 
 	// On a drained or deadline exit, advance lagging partition clocks to the
@@ -292,45 +336,93 @@ func (c crossScheduler) After(d Duration, fn func()) EventID {
 
 func (c crossScheduler) Cancel(EventID) {}
 
+// workerMin is a per-worker minimum-next-event slot, padded to a cache line
+// so concurrent writes at the barrier never false-share.
+type workerMin struct {
+	t Time
+	_ [7]int64
+}
+
 // workerPool executes partitions across a fixed set of goroutines with a
 // static, contiguous partition assignment (worker w owns partitions
 // [w*n/W, (w+1)*n/W)), so the mapping — and the results — never depend on
 // scheduling luck.
+//
+// Synchronization is two phaser gates per quantum instead of per-quantum
+// channel traffic: the main goroutine publishes qEnd and advances the start
+// gate; workers run their partitions, record the minimum next-event time of
+// what they own, and the last arrival advances the done gate. Workers spin
+// briefly and then park (see phaser), so an idle pool costs nothing and a
+// busy one never pays a scheduler round-trip per quantum.
 type workerPool struct {
-	start []chan Time
-	wg    sync.WaitGroup
+	start    *phaser
+	done     *phaser
+	arrived  atomic.Int32
+	workers  int32
+	qEnd     Time // published before start.advance, read after start.await
+	shutdown bool // likewise
+	mins     []workerMin
 }
 
 func newWorkerPool(parts []*Partition, workers int) *workerPool {
-	pool := &workerPool{start: make([]chan Time, workers)}
+	pool := &workerPool{
+		start:   newPhaser(),
+		done:    newPhaser(),
+		workers: int32(workers),
+		mins:    make([]workerMin, workers),
+	}
 	n := len(parts)
+	// Capture the start generation before any worker launches: a worker that
+	// first reads the gate after the opening advance would wait one
+	// generation too far and deadlock the first quantum.
+	startGen := pool.start.current()
 	for w := 0; w < workers; w++ {
 		owned := parts[w*n/workers : (w+1)*n/workers]
-		ch := make(chan Time)
-		pool.start[w] = ch
-		go func() { //simlint:allow detlint engine-owned worker pool: static partition assignment, full barrier per quantum
-			for qEnd := range ch {
+		w := w
+		go func() { //simlint:allow detlint engine-owned worker pool: static partition assignment, spin-then-park barrier, full barrier per quantum
+			gen := startGen
+			for {
+				gen = pool.start.await(gen)
+				if pool.shutdown {
+					return
+				}
+				qEnd := pool.qEnd
+				min := Never
 				for _, p := range owned {
 					p.eng.RunUntil(qEnd)
+					if t := p.eng.NextEventTime(); t < min {
+						min = t
+					}
 				}
-				pool.wg.Done()
+				pool.mins[w].t = min
+				if pool.arrived.Add(1) == pool.workers {
+					pool.arrived.Store(0)
+					pool.done.advance()
+				}
 			}
 		}()
 	}
 	return pool
 }
 
-// runQuantum advances every partition to qEnd and waits for the barrier.
-func (pool *workerPool) runQuantum(qEnd Time) {
-	pool.wg.Add(len(pool.start))
-	for _, ch := range pool.start {
-		ch <- qEnd
+// runQuantum advances every partition to qEnd, waits for the barrier, and
+// returns the minimum next-event time across all partitions.
+func (pool *workerPool) runQuantum(qEnd Time) Time {
+	last := pool.done.current()
+	pool.qEnd = qEnd
+	pool.start.advance()
+	pool.done.await(last)
+	min := Never
+	for i := range pool.mins {
+		if t := pool.mins[i].t; t < min {
+			min = t
+		}
 	}
-	pool.wg.Wait()
+	return min
 }
 
+// close releases the workers; they observe shutdown and exit.
 func (pool *workerPool) close() {
-	for _, ch := range pool.start {
-		close(ch)
-	}
+	pool.shutdown = true
+	pool.start.advance()
 }
