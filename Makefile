@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-json
+# Committed coverage floor for `make cover` (percent of statements across
+# ./..., including the uncovered cmd/ and examples/ mains). Raise it as
+# coverage grows; never lower it to make a PR pass.
+COVER_MIN ?= 65.0
+COVER_PROFILE ?= coverage.out
+
+# Event count per partition for the bench-json trajectory probe. The nightly
+# workflow raises it 10x to catch regressions that only show at scale.
+BENCH_EVENTS ?= 100000
+
+.PHONY: build test vet fmt-check lint race check cover bench bench-json
 
 build:
 	$(GO) build ./...
@@ -10,6 +20,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Hygiene gate: fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # simlint: the custom go/analysis suite enforcing the determinism and
 # scheduler contracts (see internal/analysis and DESIGN.md). Covers test
@@ -29,6 +44,16 @@ check:
 	$(GO) run ./cmd/simlint ./...
 	$(GO) test -race ./...
 
+# Coverage gate: writes $(COVER_PROFILE) (uploaded by CI next to
+# BENCH_results.json) and fails if total statement coverage drops below the
+# committed COVER_MIN floor.
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	@total="$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit !(t+0 < min+0) }' && \
+		{ echo "COVERAGE REGRESSION: $$total% < $(COVER_MIN)%"; exit 1; } || true
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
@@ -36,4 +61,4 @@ bench:
 # probe, writes BENCH_results.json, and fails if sequential throughput
 # regresses >20% against the committed bench_baseline.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_results.json -baseline bench_baseline.json
+	$(GO) run ./cmd/benchjson -o BENCH_results.json -baseline bench_baseline.json -events $(BENCH_EVENTS)

@@ -3,13 +3,16 @@
 // Usage:
 //
 //	diablo list
-//	diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W]
+//	diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W] [-faults SPEC]
 //	diablo all  [-requests N] [-iterations N]
 //
 // IDs follow the paper: fig2, table1, table2, proto, fig6a, fig6b, fig8,
-// fig9, fig10, fig11, fig12, fig13, fig14, fig15, perf. Reduced request and
-// iteration counts are the default (see DESIGN.md); raise them toward the
-// paper's 30,000 requests / 40 iterations for full-scale runs.
+// fig9, fig10, fig11, fig12, fig13, fig14, fig15, perf — plus the
+// graceful-degradation experiments faultmc and faultincast, whose fault
+// schedule can be overridden with -faults (see fault.ParseSpec for the
+// grammar). Reduced request and iteration counts are the default (see
+// DESIGN.md); raise them toward the paper's 30,000 requests / 40 iterations
+// for full-scale runs.
 package main
 
 import (
@@ -81,6 +84,7 @@ func parseOpts(args []string) diablo.ExperimentOptions {
 	senders := fs.String("senders", "", "comma-separated incast sender counts (default 1..24)")
 	seed := fs.Uint64("seed", 0, "master seed (0 = default)")
 	partitions := fs.Int("partitions", 0, "parallel workers for multi-rack runs (0/1 = serial; results are identical at any value)")
+	faults := fs.String("faults", "", `fault schedule for faultmc/faultincast, e.g. "tordegrade rack=0 at=30ms dur=200ms loss=0.5" (empty = the experiment's built-in schedule)`)
 	_ = fs.Parse(args)
 
 	var opts diablo.ExperimentOptions
@@ -88,6 +92,7 @@ func parseOpts(args []string) diablo.ExperimentOptions {
 	opts.Iterations = *iterations
 	opts.Seed = *seed
 	opts.Partitions = *partitions
+	opts.Faults = *faults
 	if *senders != "" {
 		for _, s := range strings.Split(*senders, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -104,6 +109,6 @@ func parseOpts(args []string) diablo.ExperimentOptions {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   diablo list
-  diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W]
+  diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W] [-faults SPEC]
   diablo all [flags]`)
 }

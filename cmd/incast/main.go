@@ -24,6 +24,7 @@ func main() {
 	minRTOms := flag.Int("minrto", 200, "TCP minimum RTO in milliseconds")
 	seed := flag.Uint64("seed", 1, "master seed")
 	traceDrops := flag.Bool("trace-drops", false, "print a tcpdump-style trace of dropped frames")
+	faults := flag.String("faults", "", `fault schedule, e.g. "edgedegrade node=0 at=0 dur=600s loss=0.1 dir=down"`)
 	flag.Parse()
 
 	cfg := diablo.DefaultIncast(*senders)
@@ -40,9 +41,20 @@ func main() {
 		cfg.Switch = diablo.SharedBufferCommodity("tor", 0)
 	}
 
+	if *faults != "" {
+		plan, err := diablo.ParseFaultSpec(cfg.Seed, *faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incast:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
+
 	var tr *trace.Tracer
-	if *traceDrops {
-		cfg.OnCluster = func(c *core.Cluster) {
+	var cluster *core.Cluster
+	cfg.OnCluster = func(c *core.Cluster) {
+		cluster = c
+		if *traceDrops {
 			tr = trace.New(func() diablo.Time { return c.Scheduler().Now() }, 256, nil)
 			for i, sw := range c.Tors {
 				sw.OnDrop = tr.DropHook(fmt.Sprintf("tor-%d", i))
@@ -60,6 +72,12 @@ func main() {
 	fmt.Printf("goodput   %.1f Mbps (%d bytes over %v)\n", res.GoodputBps/1e6, res.Bytes, res.Elapsed)
 	fmt.Printf("loss      %d timeouts, %d fast retransmits, %d retransmitted segments\n",
 		res.Timeouts, res.FastRetransmits, res.Retransmits)
+	if *faults != "" && cluster != nil {
+		fmt.Printf("faults    %d fault drops; %d edges:\n", cluster.FaultDrops(), len(cluster.FaultEdges()))
+		for _, e := range cluster.FaultEdges() {
+			fmt.Printf("          %v\n", e)
+		}
+	}
 	for i, d := range res.IterTimes {
 		fmt.Printf("iter %2d   %v\n", i, d)
 	}

@@ -21,6 +21,7 @@ func main() {
 	churn := flag.Int("churn", 0, "reconnect TCP every N requests (0 = persistent)")
 	extraNs := flag.Int("extra-latency-ns", 0, "extra switch port-to-port latency in ns")
 	seed := flag.Uint64("seed", 1, "master seed")
+	faults := flag.String("faults", "", `fault schedule, e.g. "tordegrade rack=0 at=30ms dur=200ms loss=0.5; nicstall node=3 at=1ms dur=500us"`)
 	flag.Parse()
 
 	cfg := diablo.DefaultMemcached()
@@ -53,6 +54,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *faults != "" {
+		plan, err := diablo.ParseFaultSpec(cfg.Seed, *faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memcache:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
+
 	res, err := diablo.RunMemcached(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memcache:", err)
@@ -62,6 +72,13 @@ func main() {
 		31*16**arrays, res.Servers, res.Clients, *proto, cfg.Profile.Name, cfg.Version.Name)
 	fmt.Printf("completed  %d/%d clients, %d samples in %v (util %.1f%%, %d switch drops, %d UDP retries)\n",
 		res.ClientsDone, res.Clients, res.Samples, res.Elapsed, res.MeanUtil*100, res.SwitchDrops, res.Retried)
+	if *faults != "" {
+		fmt.Printf("faults     %d fault drops, %d/%d requests lost; %d edges:\n",
+			res.FaultDrops, res.Lost(), res.Attempted, len(res.FaultEdges))
+		for _, e := range res.FaultEdges {
+			fmt.Printf("           %v\n", e)
+		}
+	}
 	fmt.Printf("overall    %s\n", res.Overall.Summary())
 	for _, hop := range []diablo.HopClass{diablo.Local, diablo.OneHop, diablo.TwoHop} {
 		h := res.ByHop[hop]

@@ -40,6 +40,7 @@ import (
 	"diablo/internal/apps/memcache"
 	"diablo/internal/core"
 	"diablo/internal/cpu"
+	"diablo/internal/fault"
 	"diablo/internal/kernel"
 	"diablo/internal/metrics"
 	"diablo/internal/packet"
@@ -253,3 +254,71 @@ var (
 // EngineComparisonStats carries the full engine-comparison measurement
 // (throughput and allocs/event for both engines); see core.EngineComparisonMeasured.
 type EngineComparisonStats = core.EngineComparisonStats
+
+// Fault injection and graceful degradation (see package fault and DESIGN.md
+// §5.7 for the determinism contract).
+type (
+	// FaultPlan is a deterministic, schedule-driven fault plan.
+	FaultPlan = fault.Plan
+	// FaultAction is one scheduled fault window.
+	FaultAction = fault.Action
+	// FaultTarget names the component an action hits.
+	FaultTarget = fault.Target
+	// FaultKind enumerates the supported fault kinds.
+	FaultKind = fault.Kind
+	// FaultGenConfig parameterizes random fault-plan generation.
+	FaultGenConfig = fault.GenConfig
+	// FaultEdge is one recorded apply/clear transition of a fault window.
+	FaultEdge = core.FaultEdge
+	// Degradation quantifies a faulted run against its healthy baseline.
+	Degradation = metrics.Degradation
+	// ToRFlapConfig parameterizes the memcached-under-ToR-flap experiment.
+	ToRFlapConfig = core.ToRFlapConfig
+	// LossyUplinkConfig parameterizes the incast-under-loss experiment.
+	LossyUplinkConfig = core.LossyUplinkConfig
+	// FaultedMemcachedResult pairs baseline and faulted memcached runs.
+	FaultedMemcachedResult = core.FaultedMemcachedResult
+	// FaultedIncastResult pairs baseline and faulted incast runs.
+	FaultedIncastResult = core.FaultedIncastResult
+)
+
+// Fault directions (which side of a duplex link an action hits).
+const (
+	DirBoth = fault.Both
+	DirUp   = fault.Up
+	DirDown = fault.Down
+)
+
+// Switch hierarchy levels for switch-targeted faults.
+const (
+	LevelToR   = fault.ToR
+	LevelArray = fault.Array
+	LevelDC    = fault.DC
+)
+
+// Fault-injection constructors and experiment runners.
+var (
+	// NewFaultPlan starts an empty plan with a master seed; chain the
+	// builder methods (FlapRackUplink, DegradeEdge, StallNIC, ...).
+	NewFaultPlan = fault.NewPlan
+	// ParseFaultSpec parses the CLI fault grammar, e.g.
+	// "tordegrade rack=0 at=30ms dur=200ms loss=0.5; nicstall node=3 at=1ms dur=500us".
+	ParseFaultSpec = fault.ParseSpec
+	// GenerateFaults draws a random (but seed-deterministic) plan.
+	GenerateFaults = fault.Generate
+	// WithFaults installs a fault plan at cluster construction.
+	WithFaults = core.WithFaults
+
+	// DefaultToRFlap and RunMemcachedToRFlap: §6-style memcached fan-out
+	// latency under a ToR uplink flap.
+	DefaultToRFlap      = core.DefaultToRFlap
+	RunMemcachedToRFlap = core.RunMemcachedToRFlap
+	// RunMemcachedFaulted runs baseline + faulted memcached under any plan.
+	RunMemcachedFaulted = core.RunMemcachedFaulted
+	// DefaultLossyUplink and RunIncastLossyUplink: §6-style incast collapse
+	// with a lossy client downlink.
+	DefaultLossyUplink   = core.DefaultLossyUplink
+	RunIncastLossyUplink = core.RunIncastLossyUplink
+	// RunIncastFaulted runs baseline + faulted incast under any plan.
+	RunIncastFaulted = core.RunIncastFaulted
+)

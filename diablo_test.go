@@ -10,6 +10,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"fig2", "table1", "table2", "proto",
 		"fig6a", "fig6b", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "perf",
+		"faultmc", "faultincast",
 	}
 	have := map[string]bool{}
 	for _, e := range Experiments() {

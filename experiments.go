@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"diablo/internal/core"
+	"diablo/internal/fault"
 	"diablo/internal/fpga"
 	"diablo/internal/metrics"
 	"diablo/internal/survey"
@@ -25,6 +26,11 @@ type ExperimentOptions struct {
 	// Partitions is the parallel worker count for multi-rack runs (0 or 1 =
 	// single-threaded; any value yields identical results).
 	Partitions int
+	// Faults overrides the fault schedule of the graceful-degradation
+	// experiments (faultmc, faultincast) with a spec in the fault.ParseSpec
+	// grammar, e.g. "tordegrade rack=0 at=30ms dur=200ms loss=0.5". Empty
+	// keeps each experiment's built-in schedule; other experiments ignore it.
+	Faults string
 }
 
 // ExperimentOutput is the rendered result of one experiment.
@@ -74,6 +80,8 @@ func Experiments() []Experiment {
 		{"fig14", "Figure 14: Linux 2.6.39.3 vs 3.5.7 at 2,000 nodes", runFig14},
 		{"fig15", "Figure 15: memcached 1.4.15 vs 1.4.17 at scale", runFig15},
 		{"perf", "Section 5: simulator performance and scaling", runPerf},
+		{"faultmc", "Fault injection: memcached fan-out latency under a ToR uplink flap", runFaultMC},
+		{"faultincast", "Fault injection: TCP incast with a lossy client downlink", runFaultIncast},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps
@@ -248,6 +256,73 @@ func runFig15(o ExperimentOptions) (*ExperimentOutput, error) {
 		return nil, err
 	}
 	return &ExperimentOutput{Series: series}, nil
+}
+
+func runFaultMC(o ExperimentOptions) (*ExperimentOutput, error) {
+	cfg := core.DefaultToRFlap()
+	if o.Requests > 0 {
+		cfg.Memcached.RequestsPerClient = o.Requests
+	}
+	if o.Seed != 0 {
+		cfg.Memcached.Seed = o.Seed
+	}
+	cfg.Memcached.Partitions = o.Partitions
+
+	var r *core.FaultedMemcachedResult
+	var err error
+	if o.Faults != "" {
+		plan, perr := fault.ParseSpec(cfg.Memcached.Seed, o.Faults)
+		if perr != nil {
+			return nil, perr
+		}
+		r, err = core.RunMemcachedFaulted(cfg.Memcached, plan)
+	} else {
+		r, err = core.RunMemcachedToRFlap(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &ExperimentOutput{Tables: []*metrics.Table{r.Degradation.Table()}}
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("schedule:\n%s", r.Plan),
+		fmt.Sprintf("fault edges fired: %d; p99.9 inflation %.2fx; lost %d of %d requests (%.3g%%)",
+			len(r.Faulted.FaultEdges), r.Degradation.Inflation(0.999),
+			r.Faulted.Lost(), r.Faulted.Attempted,
+			100*metrics.LossRate(r.Faulted.Lost(), r.Faulted.Attempted)))
+	return out, nil
+}
+
+func runFaultIncast(o ExperimentOptions) (*ExperimentOutput, error) {
+	cfg := core.DefaultLossyUplink()
+	if o.Iterations > 0 {
+		cfg.Incast.Iterations = o.Iterations
+	}
+	if o.Seed != 0 {
+		cfg.Incast.Seed = o.Seed
+	}
+
+	var r *core.FaultedIncastResult
+	var err error
+	if o.Faults != "" {
+		plan, perr := fault.ParseSpec(cfg.Incast.Seed, o.Faults)
+		if perr != nil {
+			return nil, perr
+		}
+		r, err = core.RunIncastFaulted(cfg.Incast, plan)
+	} else {
+		r, err = core.RunIncastLossyUplink(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &ExperimentOutput{Tables: []*metrics.Table{r.Degradation.Table()}}
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("schedule:\n%s", r.Plan),
+		fmt.Sprintf("goodput %.1f -> %.1f Mbps (%.2fx); retransmits %d -> %d; timeouts %d -> %d",
+			r.Baseline.GoodputBps/1e6, r.Faulted.GoodputBps/1e6, r.GoodputRatio(),
+			r.Baseline.Retransmits, r.Faulted.Retransmits,
+			r.Baseline.Timeouts, r.Faulted.Timeouts))
+	return out, nil
 }
 
 func runPerf(o ExperimentOptions) (*ExperimentOutput, error) {

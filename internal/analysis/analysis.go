@@ -151,6 +151,7 @@ var modelPrefixes = []string{
 	"diablo/internal/nic",
 	"diablo/internal/link",
 	"diablo/internal/vswitch",
+	"diablo/internal/fault",
 	"diablo/internal/tcp",
 	"diablo/internal/packet",
 	"diablo/internal/apps",

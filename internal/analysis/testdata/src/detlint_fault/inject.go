@@ -1,0 +1,71 @@
+// Package fixture exercises detlint over fault-injection callbacks: the
+// apply/clear closures a fault plan schedules run inside the simulated
+// world, so every detlint rule applies to them with full force. A wall-clock
+// read or map-order scheduling inside a fault closure would make the fault
+// schedule — and therefore the whole run — irreproducible.
+package fixture
+
+import (
+	"time"
+
+	"diablo/internal/sim"
+)
+
+type impairment struct {
+	loss float64
+	rand *sim.Rand
+}
+
+type injector struct {
+	sched   sim.Scheduler
+	imps    map[string]impairment
+	applied []string
+}
+
+// install schedules apply callbacks for every impairment. Ranging over the
+// map to schedule is exactly the nondeterminism vector detlint exists for:
+// event insertion order would follow Go's randomized map order.
+func (in *injector) install() {
+	for label := range in.imps {
+		_ = label
+		in.sched.After(sim.Duration(1), func() {}) // want `event scheduled while ranging over a map`
+	}
+}
+
+// applyStamped records when a fault window opened — but reads the host
+// clock inside the simulated callback.
+func (in *injector) applyStamped(label string) {
+	in.sched.After(sim.Duration(1), func() {
+		_ = time.Now() // want `wall-clock time.Now`
+		in.applied = append(in.applied, label)
+	})
+}
+
+// collectLabels leaks map order into a slice that downstream code will
+// iterate in order.
+func (in *injector) collectLabels() []string {
+	var out []string
+	for label := range in.imps {
+		out = append(out, label) // want `append to out while ranging over a map`
+	}
+	return out
+}
+
+// seededPlan is the sanctioned shape: loss decisions come from a sim.Rand
+// stream derived from the plan seed per component label, scheduling happens
+// from a sorted slice, and the callbacks touch only simulated state. detlint
+// must stay silent on all of it.
+func seededPlan(sched sim.Scheduler, seed uint64, labels []string) map[string]impairment {
+	imps := make(map[string]impairment, len(labels))
+	for _, label := range labels {
+		r := sim.NewRand(sim.DeriveSeed(seed, "fault/link/"+label))
+		imp := impairment{loss: 0.5, rand: r}
+		imps[label] = imp
+		sched.After(sim.Duration(1), func() {
+			if imp.rand.Float64() < imp.loss {
+				return
+			}
+		})
+	}
+	return imps
+}

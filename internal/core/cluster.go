@@ -7,7 +7,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"diablo/internal/fault"
 	"diablo/internal/kernel"
 	"diablo/internal/link"
 	"diablo/internal/nic"
@@ -98,6 +100,11 @@ type Cluster struct {
 	eng     sim.Runner          // single-rack serial path
 	pe      *sim.ParallelEngine // multi-rack partitioned path
 	quantum sim.Duration        // barrier quantum (0 on the serial path)
+
+	// Fault-layer state: edges fire on worker goroutines in a partitioned
+	// run, so recording is mutex-guarded; FaultEdges sorts before returning.
+	faultMu    sync.Mutex
+	faultEdges []FaultEdge
 }
 
 // Option customizes cluster execution without touching the model Config.
@@ -106,6 +113,7 @@ type Option func(*options)
 type options struct {
 	workers int
 	quantum sim.Duration
+	faults  *fault.Plan
 }
 
 // WithPartitions sets how many OS-level workers execute the cluster's
@@ -284,6 +292,13 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 			c.Arrays[a].AttachOutput(upPort, link.New(fsched, c.DC.Input(a), cfg.DC.LinkRate, cfg.CableProp))
 			c.DC.AttachOutput(a, link.New(fsched, c.Arrays[a].Input(upPort), cfg.DC.LinkRate, cfg.CableProp))
 		}
+	}
+
+	// Install the fault schedule last, over the fully wired topology. Every
+	// fault edge lands on its target's own partition scheduler, so this adds
+	// no cross-partition traffic and cannot shrink the derived quantum.
+	if err := fault.Install(c.opts.faults, c, c.recordFaultEdge); err != nil {
+		return nil, err
 	}
 	return c, nil
 }

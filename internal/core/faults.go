@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"diablo/internal/apps/incast"
+	"diablo/internal/fault"
+	"diablo/internal/metrics"
+	"diablo/internal/sim"
+)
+
+// This file holds the §6-style graceful-degradation experiments: each runs
+// a workload twice — healthy and under an injected fault schedule — and
+// quantifies the degradation. Both runs use identical seeds, so every
+// difference is attributable to the faults.
+
+// ToRFlapConfig parameterizes the memcached-under-ToR-flap experiment: a
+// rack's uplink degrades (or goes dark) mid-run while clients fan requests
+// out across the array.
+type ToRFlapConfig struct {
+	// Memcached is the workload; its Faults field is overwritten.
+	Memcached MemcachedConfig
+	// Rack is the rack whose uplink flaps.
+	Rack int
+	// At and Dur bound the flap window.
+	At  sim.Time
+	Dur sim.Duration
+	// Loss is the per-frame drop probability during the window; 0 means the
+	// uplink goes hard down instead.
+	Loss float64
+}
+
+// DefaultToRFlap returns a reduced-scale single-array run with a 50%-lossy
+// 200 ms flap of rack 0's uplink starting at 30 ms.
+func DefaultToRFlap() ToRFlapConfig {
+	mc := DefaultMemcached()
+	mc.Arrays = 1
+	mc.RequestsPerClient = 40
+	mc.MaxClients = 64
+	mc.Warmup = 2
+	return ToRFlapConfig{
+		Memcached: mc,
+		Rack:      0,
+		At:        sim.Time(30 * sim.Millisecond),
+		Dur:       200 * sim.Millisecond,
+		Loss:      0.5,
+	}
+}
+
+// Plan renders the flap as a fault schedule.
+func (c ToRFlapConfig) Plan() *fault.Plan {
+	p := fault.NewPlan(c.Memcached.Seed)
+	if c.Loss > 0 {
+		return p.DegradeRackUplink(c.Rack, c.At, c.Dur, c.Loss, 0)
+	}
+	return p.FlapRackUplink(c.Rack, c.At, c.Dur)
+}
+
+// FaultedMemcachedResult pairs the two runs with their computed degradation.
+type FaultedMemcachedResult struct {
+	Baseline, Faulted *MemcachedResult
+	Degradation       *metrics.Degradation
+	Plan              *fault.Plan
+}
+
+// RunMemcachedFaulted runs cfg twice — healthy, then under plan — and
+// quantifies the degradation. cfg.Faults is overwritten on both runs.
+func RunMemcachedFaulted(cfg MemcachedConfig, plan *fault.Plan) (*FaultedMemcachedResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+
+	base := cfg
+	base.Faults = nil
+	baseline, err := RunMemcached(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline run: %w", err)
+	}
+
+	faulted := cfg
+	faulted.Faults = plan
+	fr, err := RunMemcached(faulted)
+	if err != nil {
+		return nil, fmt.Errorf("core: faulted run: %w", err)
+	}
+
+	return &FaultedMemcachedResult{
+		Baseline: baseline,
+		Faulted:  fr,
+		Plan:     plan,
+		Degradation: &metrics.Degradation{
+			Name:            "memcached under faults",
+			Baseline:        baseline.Overall,
+			Faulted:         fr.Overall,
+			BaselineLost:    baseline.Lost(),
+			FaultedLost:     fr.Lost(),
+			BaselineRetried: baseline.Retried,
+			FaultedRetried:  fr.Retried,
+			FaultDrops:      fr.FaultDrops,
+		},
+	}, nil
+}
+
+// RunMemcachedToRFlap executes the experiment.
+func RunMemcachedToRFlap(cfg ToRFlapConfig) (*FaultedMemcachedResult, error) {
+	r, err := RunMemcachedFaulted(cfg.Memcached, cfg.Plan())
+	if err != nil {
+		return nil, err
+	}
+	r.Degradation.Name = fmt.Sprintf("memcached under ToR flap (rack %d, %v for %v, loss %g)", cfg.Rack, cfg.At, cfg.Dur, cfg.Loss)
+	return r, nil
+}
+
+// LossyUplinkConfig parameterizes the incast-under-loss experiment: the
+// ToR->client edge link (the incast bottleneck) drops a fraction of frames
+// for the whole run, compounding the synchronized-read collapse.
+type LossyUplinkConfig struct {
+	// Incast is the workload; its Faults field is overwritten.
+	Incast IncastConfig
+	// At and Dur bound the lossy window.
+	At  sim.Time
+	Dur sim.Duration
+	// Loss is the per-frame drop probability on the client's downlink.
+	Loss float64
+}
+
+// DefaultLossyUplink returns an 8-sender incast with 10 iterations and a 10%
+// lossy client downlink covering the whole run.
+func DefaultLossyUplink() LossyUplinkConfig {
+	ic := DefaultIncast(8)
+	ic.Iterations = 10
+	return LossyUplinkConfig{
+		Incast: ic,
+		At:     0,
+		Dur:    600 * sim.Second,
+		Loss:   0.1,
+	}
+}
+
+// Plan renders the lossy window as a fault schedule (the client is node 0;
+// only the switch->client direction is degraded, where the incast aggregate
+// flows).
+func (c LossyUplinkConfig) Plan() *fault.Plan {
+	return fault.NewPlan(c.Incast.Seed).DegradeEdge(0, fault.Down, c.At, c.Dur, c.Loss, 0)
+}
+
+// FaultedIncastResult pairs the two runs with their computed degradation.
+// The Degradation histograms hold per-iteration completion times.
+type FaultedIncastResult struct {
+	Baseline, Faulted incast.Result
+	Degradation       *metrics.Degradation
+	Plan              *fault.Plan
+}
+
+// GoodputRatio returns faulted/baseline goodput.
+func (r *FaultedIncastResult) GoodputRatio() float64 {
+	if r.Baseline.GoodputBps <= 0 {
+		return 0
+	}
+	return r.Faulted.GoodputBps / r.Baseline.GoodputBps
+}
+
+// RunIncastFaulted runs cfg twice — healthy, then under plan — and
+// quantifies the degradation. cfg.Faults is overwritten on both runs.
+func RunIncastFaulted(cfg IncastConfig, plan *fault.Plan) (*FaultedIncastResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+
+	base := cfg
+	base.Faults = nil
+	baseline, err := RunIncast(base)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline run: %w", err)
+	}
+
+	faulted := cfg
+	faulted.Faults = plan
+	var cluster *Cluster
+	prev := faulted.OnCluster
+	faulted.OnCluster = func(c *Cluster) {
+		cluster = c
+		if prev != nil {
+			prev(c)
+		}
+	}
+	fr, err := RunIncast(faulted)
+	if err != nil {
+		return nil, fmt.Errorf("core: faulted run: %w", err)
+	}
+	var faultDrops uint64
+	if cluster != nil {
+		faultDrops = cluster.FaultDrops()
+	}
+
+	iters := func(r incast.Result) *metrics.Histogram {
+		h := metrics.NewHistogram()
+		for _, d := range r.IterTimes {
+			h.Record(d)
+		}
+		return h
+	}
+	return &FaultedIncastResult{
+		Baseline: baseline,
+		Faulted:  fr,
+		Plan:     plan,
+		Degradation: &metrics.Degradation{
+			Name:            "incast under faults",
+			Baseline:        iters(baseline),
+			Faulted:         iters(fr),
+			BaselineRetried: baseline.Retransmits,
+			FaultedRetried:  fr.Retransmits,
+			FaultDrops:      faultDrops,
+		},
+	}, nil
+}
+
+// RunIncastLossyUplink executes the experiment.
+func RunIncastLossyUplink(cfg LossyUplinkConfig) (*FaultedIncastResult, error) {
+	r, err := RunIncastFaulted(cfg.Incast, cfg.Plan())
+	if err != nil {
+		return nil, err
+	}
+	r.Degradation.Name = fmt.Sprintf("incast with lossy downlink (%d senders, loss %g)", cfg.Incast.Senders, cfg.Loss)
+	return r, nil
+}

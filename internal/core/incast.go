@@ -5,6 +5,7 @@ import (
 
 	"diablo/internal/apps/incast"
 	"diablo/internal/cpu"
+	"diablo/internal/fault"
 	"diablo/internal/kernel"
 	"diablo/internal/packet"
 	"diablo/internal/sim"
@@ -41,6 +42,9 @@ type IncastConfig struct {
 	// sequential engine regardless; the knob exists for API symmetry and
 	// becomes meaningful for multi-rack incast variants.
 	Partitions int
+	// Faults is an optional fault schedule injected into the run (nil =
+	// healthy cluster). See package fault.
+	Faults *fault.Plan
 	// OnCluster, if set, observes the wired cluster before the run starts —
 	// the hook for attaching tracers and custom instrumentation.
 	OnCluster func(*Cluster)
@@ -76,7 +80,7 @@ func RunIncast(cfg IncastConfig) (incast.Result, error) {
 	if cfg.MinRTO > 0 {
 		cc.Server.TCP.MinRTO = cfg.MinRTO
 	}
-	cluster, err := New(cc, WithPartitions(cfg.Partitions))
+	cluster, err := New(cc, WithPartitions(cfg.Partitions), WithFaults(cfg.Faults))
 	if err != nil {
 		return incast.Result{}, err
 	}

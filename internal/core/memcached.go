@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"diablo/internal/apps/memcache"
+	"diablo/internal/fault"
 	"diablo/internal/kernel"
 	"diablo/internal/metrics"
 	"diablo/internal/packet"
@@ -65,6 +66,9 @@ type MemcachedConfig struct {
 	Seed uint64
 	// Deadline bounds simulated time (0 = auto-estimated).
 	Deadline sim.Duration
+	// Faults is an optional fault schedule injected into the run (nil =
+	// healthy cluster). See package fault.
+	Faults *fault.Plan
 	// OnCluster, if set, observes the wired cluster before the run starts —
 	// the hook for attaching tracers and custom instrumentation.
 	OnCluster func(*Cluster)
@@ -102,6 +106,24 @@ type MemcachedResult struct {
 	Elapsed     sim.Duration
 	MeanUtil    float64 // mean server-node CPU utilization
 	SwitchDrops uint64
+
+	// Attempted counts every issued request; Completed counts those that got
+	// a response (including warmup samples the histograms discard). Their
+	// difference is the requests lost outright — nonzero only when the fault
+	// layer (or a pathological overload) exhausts the UDP retry budget.
+	Attempted  uint64
+	Completed  uint64
+	FaultDrops uint64      // frames removed by the fault layer
+	FaultEdges []FaultEdge // fault transitions that fired during the run
+}
+
+// Lost returns requests that never completed (retry budget exhausted or the
+// run ended first).
+func (r *MemcachedResult) Lost() uint64 {
+	if r.Completed > r.Attempted {
+		return 0
+	}
+	return r.Attempted - r.Completed
 }
 
 // ThroughputPerServer returns mean served requests/second per server node.
@@ -150,7 +172,7 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		mutate(&cc)
 	}
 
-	cluster, err := New(cc, WithPartitions(cfg.Partitions))
+	cluster, err := New(cc, WithPartitions(cfg.Partitions), WithFaults(cfg.Faults))
 	if err != nil {
 		return nil, err
 	}
@@ -226,10 +248,14 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		cp.OnSample = func(s memcache.Sample) {
 			seen++
 			if seen <= cfg.Warmup {
+				mu.Lock()
+				res.Completed++
+				mu.Unlock()
 				return
 			}
 			mu.Lock()
 			defer mu.Unlock()
+			res.Completed++
 			res.Samples++
 			if s.Retried {
 				res.Retried++
@@ -253,6 +279,7 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		memcache.InstallClient(cluster.Machine(node), cp)
 	}
 	res.Clients = clients
+	res.Attempted = uint64(clients) * uint64(cfg.RequestsPerClient)
 
 	deadline := cfg.Deadline
 	if deadline == 0 {
@@ -265,6 +292,8 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		res.Elapsed = sim.Duration(cluster.Now())
 	}
 	res.SwitchDrops = cluster.SwitchDrops()
+	res.FaultDrops = cluster.FaultDrops()
+	res.FaultEdges = cluster.FaultEdges()
 
 	var util float64
 	for _, addr := range serverAddrs {

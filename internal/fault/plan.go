@@ -1,0 +1,337 @@
+// Package fault implements deterministic, schedule-driven fault injection
+// for the simulated array: link flaps with loss/latency degradation, switch
+// failure and per-port corruption, NIC ring stalls, and straggler nodes via
+// CPU slowdown windows. DIABLO's pitch is observing "unusual but
+// whole-system" behaviours; this package supplies the unusual part while
+// preserving the repo's determinism contract — a fault Plan is a pure value
+// (explicit script or seeded sim.Rand generation), every fault edge is a
+// plain event on the target component's own sim.Scheduler installed before
+// the run starts, and probabilistic impairments draw from per-target streams
+// derived from the plan seed. Sequential and partitioned engines therefore
+// produce byte-identical results with faults enabled, at any worker count.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"diablo/internal/sim"
+)
+
+// Kind classifies a fault action. Every action is a bounded window: the
+// injector schedules an apply edge at At and (for Dur > 0) a clear edge at
+// At+Dur that restores the healthy state.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// LinkFlap takes a link fully down for the window.
+	LinkFlap Kind = iota
+	// LinkDegrade makes a link lossy and/or slower for the window.
+	LinkDegrade
+	// SwitchOutage fail-stops a switch (ingress blackhole) for the window.
+	SwitchOutage
+	// PortDegrade drops/corrupts frames on one switch ingress port.
+	PortDegrade
+	// NICStall freezes a server NIC's DMA and interrupts for the window.
+	NICStall
+	// Straggle stretches a server's CPU costs by a factor for the window.
+	Straggle
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkFlap:
+		return "linkflap"
+	case LinkDegrade:
+		return "linkdegrade"
+	case SwitchOutage:
+		return "switchfail"
+	case PortDegrade:
+		return "portdegrade"
+	case NICStall:
+		return "nicstall"
+	case Straggle:
+		return "straggle"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Level names a switch tier.
+type Level uint8
+
+// Switch tiers.
+const (
+	ToR Level = iota
+	Array
+	DC
+)
+
+func (l Level) String() string {
+	switch l {
+	case ToR:
+		return "tor"
+	case Array:
+		return "array"
+	default:
+		return "dc"
+	}
+}
+
+// Dir selects link directions for a link-scoped fault.
+type Dir uint8
+
+// Link directions. Up points from the server/rack toward the aggregation
+// fabric; Down points back toward the server.
+const (
+	Both Dir = iota
+	Up
+	Down
+)
+
+func (d Dir) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return "both"
+	}
+}
+
+// Target names the component a fault acts on. Which fields are meaningful
+// depends on the action's Kind:
+//
+//   - LinkFlap / LinkDegrade: either the ToR uplink of rack Rack (Node < 0)
+//     or the edge link of server Node (Rack ignored), restricted by Dir.
+//   - SwitchOutage / PortDegrade: the switch at (Level, Index); PortDegrade
+//     additionally names the ingress Port.
+//   - NICStall / Straggle: server Node.
+type Target struct {
+	Level Level
+	Index int
+	Port  int
+	Rack  int
+	Node  int
+	Dir   Dir
+}
+
+// Action is one scheduled fault window.
+type Action struct {
+	At  sim.Time
+	Dur sim.Duration
+
+	Kind   Kind
+	Target Target
+
+	// Loss and Corrupt are per-frame probabilities in [0,1] (LinkDegrade /
+	// PortDegrade); ExtraLatency is added propagation (LinkDegrade);
+	// Slowdown is the straggler CPU factor >= 1 (Straggle).
+	Loss         float64
+	Corrupt      float64
+	ExtraLatency sim.Duration
+	Slowdown     float64
+}
+
+// Label renders a stable, human-readable identity for the action's target —
+// the key for per-target random streams and for trace/report rendering, so
+// it must not depend on anything but the action itself.
+func (a Action) Label() string {
+	switch a.Kind {
+	case LinkFlap, LinkDegrade:
+		if a.Target.Node >= 0 {
+			return fmt.Sprintf("%v/edge-%d-%v", a.Kind, a.Target.Node, a.Target.Dir)
+		}
+		return fmt.Sprintf("%v/uplink-rack-%d-%v", a.Kind, a.Target.Rack, a.Target.Dir)
+	case SwitchOutage:
+		return fmt.Sprintf("%v/%v-%d", a.Kind, a.Target.Level, a.Target.Index)
+	case PortDegrade:
+		return fmt.Sprintf("%v/%v-%d-port-%d", a.Kind, a.Target.Level, a.Target.Index, a.Target.Port)
+	case NICStall:
+		return fmt.Sprintf("%v/node-%d", a.Kind, a.Target.Node)
+	case Straggle:
+		return fmt.Sprintf("%v/node-%d-x%g", a.Kind, a.Target.Node, a.Slowdown)
+	}
+	return a.Kind.String()
+}
+
+// Validate rejects nonsensical actions.
+func (a Action) Validate() error {
+	if a.At < 0 {
+		return fmt.Errorf("fault: %s at negative time %v", a.Label(), a.At)
+	}
+	if a.Dur < 0 {
+		return fmt.Errorf("fault: %s has negative duration %v", a.Label(), a.Dur)
+	}
+	switch a.Kind {
+	case LinkFlap, LinkDegrade:
+		if a.Target.Node < 0 && a.Target.Rack < 0 {
+			return fmt.Errorf("fault: %s targets neither a node edge nor a rack uplink", a.Kind)
+		}
+		if a.Loss < 0 || a.Loss > 1 {
+			return fmt.Errorf("fault: %s loss %v outside [0,1]", a.Label(), a.Loss)
+		}
+		if a.ExtraLatency < 0 {
+			return fmt.Errorf("fault: %s negative extra latency %v (would violate the lookahead quantum)", a.Label(), a.ExtraLatency)
+		}
+		if a.Kind == LinkDegrade && a.Loss == 0 && a.ExtraLatency == 0 {
+			return fmt.Errorf("fault: %s degrades nothing (loss and extra latency both zero)", a.Label())
+		}
+	case PortDegrade:
+		if a.Loss < 0 || a.Loss > 1 || a.Corrupt < 0 || a.Corrupt > 1 {
+			return fmt.Errorf("fault: %s probabilities outside [0,1]", a.Label())
+		}
+		if a.Loss == 0 && a.Corrupt == 0 {
+			return fmt.Errorf("fault: %s degrades nothing", a.Label())
+		}
+		if a.Target.Port < 0 {
+			return fmt.Errorf("fault: %s has negative port", a.Label())
+		}
+	case SwitchOutage:
+		if a.Target.Index < 0 {
+			return fmt.Errorf("fault: %s has negative switch index", a.Label())
+		}
+	case NICStall:
+		if a.Target.Node < 0 {
+			return fmt.Errorf("fault: %s has negative node", a.Label())
+		}
+	case Straggle:
+		if a.Target.Node < 0 {
+			return fmt.Errorf("fault: %s has negative node", a.Label())
+		}
+		if a.Slowdown < 1 {
+			return fmt.Errorf("fault: %s slowdown %v < 1", a.Label(), a.Slowdown)
+		}
+	default:
+		return fmt.Errorf("fault: unknown kind %d", a.Kind)
+	}
+	return nil
+}
+
+// Plan is a complete fault schedule. The zero value is an empty plan; build
+// one with NewPlan and the chainable builders, Generate, or ParseSpec.
+type Plan struct {
+	// Seed derives the per-target random streams that decide probabilistic
+	// losses; two runs of the same plan draw identical loss patterns.
+	Seed uint64
+	// Actions are applied in order; overlapping windows on one target apply
+	// last-writer-wins, and a window's clear edge restores the healthy state
+	// outright.
+	Actions []Action
+}
+
+// NewPlan returns an empty plan with the given loss-stream seed.
+func NewPlan(seed uint64) *Plan { return &Plan{Seed: seed} }
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Actions) == 0 }
+
+// Validate checks every action.
+func (p *Plan) Validate() error {
+	for i, a := range p.Actions {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("action %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the schedule one action per line.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, a := range p.Actions {
+		fmt.Fprintf(&b, "%-12v +%-10v %s", a.At, a.Dur, a.Label())
+		if a.Loss > 0 {
+			fmt.Fprintf(&b, " loss=%g", a.Loss)
+		}
+		if a.Corrupt > 0 {
+			fmt.Fprintf(&b, " corrupt=%g", a.Corrupt)
+		}
+		if a.ExtraLatency > 0 {
+			fmt.Fprintf(&b, " lat=+%v", a.ExtraLatency)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- chainable builders ----------------------------------------------------
+
+// FlapRackUplink takes rack r's ToR<->array uplink down in both directions
+// for dur starting at 'at'.
+func (p *Plan) FlapRackUplink(r int, at sim.Time, dur sim.Duration) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: LinkFlap,
+		Target: Target{Rack: r, Node: -1, Dir: Both},
+	})
+	return p
+}
+
+// DegradeRackUplink makes rack r's uplink lossy/slower in both directions.
+func (p *Plan) DegradeRackUplink(r int, at sim.Time, dur sim.Duration, loss float64, extraLat sim.Duration) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: LinkDegrade,
+		Target: Target{Rack: r, Node: -1, Dir: Both},
+		Loss:   loss, ExtraLatency: extraLat,
+	})
+	return p
+}
+
+// FlapEdge takes server node's edge link down in direction dir.
+func (p *Plan) FlapEdge(node int, dir Dir, at sim.Time, dur sim.Duration) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: LinkFlap,
+		Target: Target{Node: node, Rack: -1, Dir: dir},
+	})
+	return p
+}
+
+// DegradeEdge makes server node's edge link lossy/slower in direction dir.
+func (p *Plan) DegradeEdge(node int, dir Dir, at sim.Time, dur sim.Duration, loss float64, extraLat sim.Duration) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: LinkDegrade,
+		Target: Target{Node: node, Rack: -1, Dir: dir},
+		Loss:   loss, ExtraLatency: extraLat,
+	})
+	return p
+}
+
+// FailSwitch fail-stops the switch at (level, index) for dur.
+func (p *Plan) FailSwitch(level Level, index int, at sim.Time, dur sim.Duration) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: SwitchOutage,
+		Target: Target{Level: level, Index: index, Node: -1, Rack: -1},
+	})
+	return p
+}
+
+// DegradePort drops/corrupts frames arriving on one switch ingress port.
+func (p *Plan) DegradePort(level Level, index, port int, at sim.Time, dur sim.Duration, drop, corrupt float64) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: PortDegrade,
+		Target: Target{Level: level, Index: index, Port: port, Node: -1, Rack: -1},
+		Loss:   drop, Corrupt: corrupt,
+	})
+	return p
+}
+
+// StallNIC freezes server node's NIC for dur.
+func (p *Plan) StallNIC(node int, at sim.Time, dur sim.Duration) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: NICStall,
+		Target: Target{Node: node, Rack: -1},
+	})
+	return p
+}
+
+// StraggleNode stretches server node's CPU costs by factor for dur.
+func (p *Plan) StraggleNode(node int, at sim.Time, dur sim.Duration, factor float64) *Plan {
+	p.Actions = append(p.Actions, Action{
+		At: at, Dur: dur, Kind: Straggle,
+		Target:   Target{Node: node, Rack: -1},
+		Slowdown: factor,
+	})
+	return p
+}

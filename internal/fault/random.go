@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"fmt"
+
+	"diablo/internal/sim"
+)
+
+// GenConfig parameterizes random plan generation.
+type GenConfig struct {
+	// Seed drives both the schedule draw and the resulting plan's loss
+	// streams.
+	Seed uint64
+	// Start and Horizon bound the window fault onsets are drawn from
+	// (uniform in [Start, Start+Horizon)).
+	Start   sim.Time
+	Horizon sim.Duration
+	// MeanDur is the mean fault window length (exponential, clamped to at
+	// least 1µs so every window is observable).
+	MeanDur sim.Duration
+	// Events is the number of fault windows to draw.
+	Events int
+	// Racks and Nodes describe the topology being targeted.
+	Racks, Nodes int
+}
+
+// Validate checks the generator bounds.
+func (c GenConfig) Validate() error {
+	if c.Events < 0 {
+		return fmt.Errorf("fault: negative event count %d", c.Events)
+	}
+	if c.Horizon <= 0 && c.Events > 0 {
+		return fmt.Errorf("fault: non-positive horizon %v", c.Horizon)
+	}
+	if c.MeanDur <= 0 && c.Events > 0 {
+		return fmt.Errorf("fault: non-positive mean duration %v", c.MeanDur)
+	}
+	if c.Racks <= 0 || c.Nodes <= 0 {
+		return fmt.Errorf("fault: empty topology (%d racks, %d nodes)", c.Racks, c.Nodes)
+	}
+	return nil
+}
+
+// Generate draws a random but fully deterministic fault schedule: same
+// config, same plan, on every platform. The draw uses its own derived stream
+// so generating a plan never perturbs any other seeded component.
+func Generate(cfg GenConfig) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := sim.NewRand(sim.DeriveSeed(cfg.Seed, "fault/generate"))
+	p := NewPlan(cfg.Seed)
+	for i := 0; i < cfg.Events; i++ {
+		at := cfg.Start.Add(sim.Duration(r.Float64() * float64(cfg.Horizon)))
+		dur := r.Exp(cfg.MeanDur)
+		if dur < sim.Microsecond {
+			dur = sim.Microsecond
+		}
+		switch r.Intn(6) {
+		case 0:
+			p.FlapRackUplink(r.Intn(cfg.Racks), at, dur)
+		case 1:
+			loss := 0.05 + 0.45*r.Float64()
+			p.DegradeRackUplink(r.Intn(cfg.Racks), at, dur, loss, 0)
+		case 2:
+			p.FlapEdge(r.Intn(cfg.Nodes), Both, at, dur)
+		case 3:
+			loss := 0.05 + 0.45*r.Float64()
+			p.DegradeEdge(r.Intn(cfg.Nodes), Both, at, dur, loss, 0)
+		case 4:
+			p.StallNIC(r.Intn(cfg.Nodes), at, dur)
+		case 5:
+			factor := 2 + 6*r.Float64()
+			p.StraggleNode(r.Intn(cfg.Nodes), at, dur, factor)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"diablo/internal/sim"
+)
+
+// ParseSpec builds a plan from a compact command-line grammar: actions
+// separated by ';', each a kind keyword followed by key=value fields:
+//
+//	torflap     rack=R at=D dur=D
+//	tordegrade  rack=R at=D dur=D loss=F [lat=D]
+//	edgeflap    node=N at=D dur=D [dir=up|down|both]
+//	edgedegrade node=N at=D dur=D loss=F [lat=D] [dir=up|down|both]
+//	switchfail  level=tor|array|dc index=I at=D dur=D
+//	portdegrade level=tor|array|dc index=I port=P at=D dur=D [drop=F] [corrupt=F]
+//	nicstall    node=N at=D dur=D
+//	straggle    node=N at=D dur=D factor=F
+//
+// Durations use Go syntax ("500ms", "1.5s"); dur=0 means "never clears".
+// Example:
+//
+//	tordegrade rack=0 at=200ms dur=300ms loss=0.3; straggle node=7 at=0 dur=1s factor=4
+//
+// The seed feeds the per-component loss streams (see Plan.Seed).
+func ParseSpec(seed uint64, spec string) (*Plan, error) {
+	p := NewPlan(seed)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		fields := strings.Fields(clause)
+		kw, fields := fields[0], fields[1:]
+		kv := make(map[string]string, len(fields))
+		for _, f := range fields {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault spec: %q: field %q is not key=value", clause, f)
+			}
+			if _, dup := kv[k]; dup {
+				return nil, fmt.Errorf("fault spec: %q: duplicate field %q", clause, k)
+			}
+			kv[k] = v
+		}
+		a, err := parseClause(kw, kv)
+		if err != nil {
+			return nil, fmt.Errorf("fault spec: %q: %w", clause, err)
+		}
+		for k := range kv {
+			return nil, fmt.Errorf("fault spec: %q: unknown field %q", clause, k)
+		}
+		p.Actions = append(p.Actions, a)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fault spec: %w", err)
+	}
+	return p, nil
+}
+
+// parseClause consumes recognized keys from kv (leftovers are the caller's
+// unknown-field error).
+func parseClause(kw string, kv map[string]string) (Action, error) {
+	a := Action{Target: Target{Node: -1, Rack: -1}}
+	take := func(k string) (string, bool) {
+		v, ok := kv[k]
+		if ok {
+			delete(kv, k)
+		}
+		return v, ok
+	}
+	var err error
+	dur := func(k string, required bool) sim.Duration {
+		v, ok := take(k)
+		if !ok {
+			if required && err == nil {
+				err = fmt.Errorf("missing %s=", k)
+			}
+			return 0
+		}
+		d, perr := time.ParseDuration(v)
+		if perr != nil {
+			// Accept a bare "0" for convenience.
+			if v == "0" {
+				return 0
+			}
+			if err == nil {
+				err = fmt.Errorf("bad %s=%q: %v", k, v, perr)
+			}
+			return 0
+		}
+		return sim.FromStd(d)
+	}
+	num := func(k string, required bool) int {
+		v, ok := take(k)
+		if !ok {
+			if required && err == nil {
+				err = fmt.Errorf("missing %s=", k)
+			}
+			return -1
+		}
+		n, perr := strconv.Atoi(v)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("bad %s=%q: %v", k, v, perr)
+		}
+		return n
+	}
+	prob := func(k string, required bool) float64 {
+		v, ok := take(k)
+		if !ok {
+			if required && err == nil {
+				err = fmt.Errorf("missing %s=", k)
+			}
+			return 0
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil && err == nil {
+			err = fmt.Errorf("bad %s=%q: %v", k, v, perr)
+		}
+		return f
+	}
+	dir := func() Dir {
+		v, ok := take("dir")
+		if !ok {
+			return Both
+		}
+		switch v {
+		case "up":
+			return Up
+		case "down":
+			return Down
+		case "both":
+			return Both
+		}
+		if err == nil {
+			err = fmt.Errorf("bad dir=%q (want up, down or both)", v)
+		}
+		return Both
+	}
+	level := func() Level {
+		v, ok := take("level")
+		if !ok {
+			if err == nil {
+				err = fmt.Errorf("missing level=")
+			}
+			return ToR
+		}
+		switch v {
+		case "tor":
+			return ToR
+		case "array":
+			return Array
+		case "dc":
+			return DC
+		}
+		if err == nil {
+			err = fmt.Errorf("bad level=%q (want tor, array or dc)", v)
+		}
+		return ToR
+	}
+
+	a.At = sim.Time(dur("at", true))
+	a.Dur = dur("dur", true)
+	switch kw {
+	case "torflap":
+		a.Kind = LinkFlap
+		a.Target.Rack = num("rack", true)
+	case "tordegrade":
+		a.Kind = LinkDegrade
+		a.Target.Rack = num("rack", true)
+		a.Loss = prob("loss", true)
+		a.ExtraLatency = dur("lat", false)
+	case "edgeflap":
+		a.Kind = LinkFlap
+		a.Target.Node = num("node", true)
+		a.Target.Dir = dir()
+	case "edgedegrade":
+		a.Kind = LinkDegrade
+		a.Target.Node = num("node", true)
+		a.Loss = prob("loss", true)
+		a.ExtraLatency = dur("lat", false)
+		a.Target.Dir = dir()
+	case "switchfail":
+		a.Kind = SwitchOutage
+		a.Target.Level = level()
+		a.Target.Index = num("index", true)
+	case "portdegrade":
+		a.Kind = PortDegrade
+		a.Target.Level = level()
+		a.Target.Index = num("index", true)
+		a.Target.Port = num("port", true)
+		a.Loss = prob("drop", false)
+		a.Corrupt = prob("corrupt", false)
+	case "nicstall":
+		a.Kind = NICStall
+		a.Target.Node = num("node", true)
+	case "straggle":
+		a.Kind = Straggle
+		a.Target.Node = num("node", true)
+		a.Slowdown = prob("factor", true)
+	default:
+		return a, fmt.Errorf("unknown fault kind %q", kw)
+	}
+	return a, err
+}

@@ -96,6 +96,11 @@ type Machine struct {
 	cfg  Config
 	rng  *sim.Rand
 
+	// slowdown stretches every CPU cost by this factor (>= 1). It models a
+	// straggler window (thermal throttling, a co-located noisy neighbour):
+	// the fault layer raises it for a bounded window and restores it to 1.
+	slowdown float64
+
 	// CPU executor state.
 	kq         []kwork
 	kActive    bool
@@ -165,6 +170,7 @@ func New(eng sim.Scheduler, node packet.NodeID, cfg Config, router Router, dev *
 		eng:       eng,
 		node:      node,
 		cfg:       cfg,
+		slowdown:  1,
 		rng:       sim.NewRand(sim.DeriveSeed(seed, fmt.Sprintf("machine-%d", node))),
 		parked:    make(chan struct{}),
 		dev:       dev,
@@ -198,12 +204,33 @@ func (m *Machine) Now() sim.Time { return m.eng.Now() }
 // engine, or the machine's partition handle in a parallel run).
 func (m *Machine) Scheduler() sim.Scheduler { return m.eng }
 
+// SetSlowdown sets the straggler factor: every subsequent CPU cost is
+// stretched by f (clamped to >= 1). CPU chunks already in flight complete at
+// their original length, so the window granularity is one scheduler chunk.
+func (m *Machine) SetSlowdown(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	m.slowdown = f
+}
+
+// Slowdown returns the current straggler factor (1 = nominal speed).
+func (m *Machine) Slowdown() float64 { return m.slowdown }
+
+// scale applies the straggler factor to a CPU cost.
+func (m *Machine) scale(d sim.Duration) sim.Duration {
+	if m.slowdown == 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * m.slowdown)
+}
+
 // instrTime converts instructions to time on this machine's core.
-func (m *Machine) instrTime(instr int64) sim.Duration { return m.cfg.CPU.Time(instr) }
+func (m *Machine) instrTime(instr int64) sim.Duration { return m.scale(m.cfg.CPU.Time(instr)) }
 
 // copyCost returns the user/kernel copy time for n bytes.
 func (m *Machine) copyCost(n int) sim.Duration {
-	return m.cfg.CPU.Time(int64(float64(n) * m.cfg.Profile.CopyPerByte))
+	return m.scale(m.cfg.CPU.Time(int64(float64(n) * m.cfg.Profile.CopyPerByte)))
 }
 
 // --- CPU executor ------------------------------------------------------------

@@ -6,6 +6,8 @@
 package link
 
 import (
+	"fmt"
+
 	"diablo/internal/metrics"
 	"diablo/internal/packet"
 	"diablo/internal/sim"
@@ -23,6 +25,35 @@ type EndpointFunc func(*packet.Packet)
 // Receive calls f(pkt).
 func (f EndpointFunc) Receive(pkt *packet.Packet) { f(pkt) }
 
+// Impairment is a fault-layer degradation applied to a link: a cable that is
+// down drops every frame; a flaky one drops each frame with probability Loss
+// and/or adds ExtraProp to the propagation delay. Impairments only remove or
+// delay frames — they can never deliver a frame earlier than the healthy
+// link would, which is what keeps a partitioned run's lookahead quantum
+// (derived from the healthy propagation delays) valid under faults.
+type Impairment struct {
+	// Down drops every frame (cable cut / port down).
+	Down bool
+	// Loss is the per-frame drop probability in [0, 1].
+	Loss float64
+	// ExtraProp is added propagation delay (>= 0).
+	ExtraProp sim.Duration
+}
+
+// Validate rejects impairments that could break causality or probability.
+func (i Impairment) Validate() error {
+	if i.Loss < 0 || i.Loss > 1 {
+		return fmt.Errorf("link: loss probability %v outside [0,1]", i.Loss)
+	}
+	if i.ExtraProp < 0 {
+		return fmt.Errorf("link: negative extra propagation %v (would violate lookahead)", i.ExtraProp)
+	}
+	return nil
+}
+
+// active reports whether the impairment affects traffic at all.
+func (i Impairment) active() bool { return i.Down || i.Loss > 0 || i.ExtraProp > 0 }
+
 // Link is a simplex link from a transmitter to an endpoint.
 type Link struct {
 	sched   sim.Scheduler
@@ -33,8 +64,17 @@ type Link struct {
 
 	nextFree sim.Time // when the transmit side is next idle
 
-	// Stats counts frames and bytes carried.
-	Stats metrics.Counter
+	imp       Impairment
+	faultRand *sim.Rand // loss decisions; set once by the fault layer
+
+	// OnFaultDrop, if set, observes every frame removed by the fault layer.
+	OnFaultDrop func(pkt *packet.Packet)
+
+	// Stats counts frames and bytes clocked onto the wire (the transmit side
+	// cannot tell a dead cable from a live one, so impaired frames still
+	// count here). FaultDrops counts the subset removed by the fault layer.
+	Stats      metrics.Counter
+	FaultDrops metrics.Counter
 }
 
 // New creates a link delivering to dst at the given rate (bits per second)
@@ -60,6 +100,32 @@ func (l *Link) Prop() sim.Duration { return l.prop }
 
 // SetDst rebinds the receiving endpoint (used while wiring topologies).
 func (l *Link) SetDst(dst Endpoint) { l.dst = dst }
+
+// SetFaultRand installs the deterministic stream that decides probabilistic
+// losses. The fault layer seeds one stream per link (derived from the plan
+// seed and a stable link label) at install time, before the run starts; the
+// stream is consumed only while a lossy impairment is active, so fault-free
+// runs draw nothing and replay byte-identically with or without the stream.
+func (l *Link) SetFaultRand(r *sim.Rand) { l.faultRand = r }
+
+// SetImpairment applies imp (panics on invalid values; the fault layer
+// validates plans before scheduling). A lossy impairment requires a fault
+// stream via SetFaultRand.
+func (l *Link) SetImpairment(imp Impairment) {
+	if err := imp.Validate(); err != nil {
+		panic(err)
+	}
+	if imp.Loss > 0 && l.faultRand == nil {
+		panic("link: lossy impairment without a fault stream (SetFaultRand)")
+	}
+	l.imp = imp
+}
+
+// ClearImpairment restores the healthy link.
+func (l *Link) ClearImpairment() { l.imp = Impairment{} }
+
+// Impaired reports whether a fault-layer impairment is active.
+func (l *Link) Impaired() bool { return l.imp.active() }
 
 // SerializationTime returns the time to clock pkt onto the wire.
 func (l *Link) SerializationTime(pkt *packet.Packet) sim.Duration {
@@ -98,8 +164,20 @@ func (l *Link) SendFrom(earliest sim.Time, pkt *packet.Packet) (txDone sim.Time)
 	l.nextFree = txDone
 	l.Stats.Add(pkt.WireBytes())
 
-	pkt.FirstBitArrival = start.Add(l.prop)
-	deliver := txDone.Add(l.prop)
+	prop := l.prop
+	if l.imp.active() {
+		if l.imp.Down || (l.imp.Loss > 0 && l.faultRand.Float64() < l.imp.Loss) {
+			l.FaultDrops.Add(pkt.WireBytes())
+			if l.OnFaultDrop != nil {
+				l.OnFaultDrop(pkt)
+			}
+			return txDone
+		}
+		prop += l.imp.ExtraProp
+	}
+
+	pkt.FirstBitArrival = start.Add(prop)
+	deliver := txDone.Add(prop)
 	now := l.sched.Now()
 	if deliver < now {
 		deliver = now

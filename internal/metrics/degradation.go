@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+
+	"diablo/internal/sim"
+)
+
+// Degradation quantifies graceful degradation: one faulted run measured
+// against its fault-free baseline. Latency comes from the two histograms;
+// the loss counters capture work that failed outright (requests abandoned
+// after exhausting retries, frames blackholed by the fault layer).
+type Degradation struct {
+	Name string
+
+	Baseline, Faulted *Histogram
+
+	// Lost counts requests that never completed (exhausted retries or
+	// deadline); Retried counts requests that needed at least one retry.
+	BaselineLost, FaultedLost       uint64
+	BaselineRetried, FaultedRetried uint64
+
+	// FaultDrops counts frames removed by the fault layer in the faulted run
+	// (zero in the baseline by construction).
+	FaultDrops uint64
+}
+
+// Inflation returns faulted/baseline at quantile q (0 when the baseline is
+// empty or zero at q).
+func (d *Degradation) Inflation(q float64) float64 {
+	if d.Baseline == nil || d.Faulted == nil {
+		return 0
+	}
+	b := d.Baseline.Percentile(q)
+	if b <= 0 {
+		return 0
+	}
+	return float64(d.Faulted.Percentile(q)) / float64(b)
+}
+
+// LossRate returns the faulted run's lost-request fraction given the number
+// of attempted requests.
+func LossRate(lost, attempted uint64) float64 {
+	if attempted == 0 {
+		return 0
+	}
+	return float64(lost) / float64(attempted)
+}
+
+// Table renders the comparison in the repo's standard table format.
+func (d *Degradation) Table() *Table {
+	t := &Table{
+		Title:   d.Name,
+		Columns: []string{"metric", "baseline", "faulted", "ratio"},
+	}
+	row := func(name string, b, f sim.Duration) {
+		ratio := "-"
+		if b > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(f)/float64(b))
+		}
+		t.AddRow(name, b.String(), f.String(), ratio)
+	}
+	if d.Baseline != nil && d.Faulted != nil {
+		row("mean", d.Baseline.Mean(), d.Faulted.Mean())
+		row("p50", d.Baseline.Percentile(0.50), d.Faulted.Percentile(0.50))
+		row("p99", d.Baseline.Percentile(0.99), d.Faulted.Percentile(0.99))
+		row("p99.9", d.Baseline.Percentile(0.999), d.Faulted.Percentile(0.999))
+		row("max", d.Baseline.Max(), d.Faulted.Max())
+		t.AddRow("samples", fmt.Sprint(d.Baseline.Count()), fmt.Sprint(d.Faulted.Count()), "-")
+	}
+	t.AddRow("lost", fmt.Sprint(d.BaselineLost), fmt.Sprint(d.FaultedLost), "-")
+	t.AddRow("retried", fmt.Sprint(d.BaselineRetried), fmt.Sprint(d.FaultedRetried), "-")
+	t.AddRow("fault drops", "0", fmt.Sprint(d.FaultDrops), "-")
+	return t
+}

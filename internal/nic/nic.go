@@ -71,6 +71,12 @@ type NIC struct {
 	rxIntPending bool
 	lastRxInt    sim.Time
 
+	// stalled freezes the DMA engines and interrupt generation (a fault-layer
+	// ring stall): queued TX descriptors stop draining and RX interrupts stop
+	// firing, while arriving frames keep filling the RX ring until it
+	// overruns — exactly what a wedged device looks like to the driver.
+	stalled bool
+
 	// OnRxInterrupt is invoked in "hardware interrupt" context when the
 	// device raises an RX interrupt; the kernel driver converts it into
 	// interrupt-handler work on the CPU.
@@ -120,8 +126,22 @@ func (n *NIC) Transmit(pkt *packet.Packet) bool {
 	return true
 }
 
+// SetStalled freezes or resumes the device. Resuming restarts the TX DMA and
+// re-evaluates the RX interrupt condition, so frames queued during the stall
+// flow again (batched into one interrupt, as after a real wedge clears).
+func (n *NIC) SetStalled(stalled bool) {
+	n.stalled = stalled
+	if !stalled {
+		n.kickTx()
+		n.maybeRaiseRxInt()
+	}
+}
+
+// Stalled reports whether the device is currently stalled.
+func (n *NIC) Stalled() bool { return n.stalled }
+
 func (n *NIC) kickTx() {
-	if n.txBusy || len(n.txq) == 0 {
+	if n.txBusy || n.stalled || len(n.txq) == 0 {
 		return
 	}
 	pkt := n.txq[0]
@@ -153,7 +173,7 @@ func (n *NIC) Receive(pkt *packet.Packet) {
 }
 
 func (n *NIC) maybeRaiseRxInt() {
-	if !n.rxIntEnabled || n.rxIntPending || len(n.rxq) == 0 {
+	if !n.rxIntEnabled || n.rxIntPending || n.stalled || len(n.rxq) == 0 {
 		return
 	}
 	now := n.sched.Now()
@@ -164,7 +184,7 @@ func (n *NIC) maybeRaiseRxInt() {
 	n.rxIntPending = true
 	n.sched.At(fire, func() {
 		n.rxIntPending = false
-		if !n.rxIntEnabled || len(n.rxq) == 0 {
+		if !n.rxIntEnabled || n.stalled || len(n.rxq) == 0 {
 			return
 		}
 		n.lastRxInt = n.sched.Now()

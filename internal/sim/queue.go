@@ -104,9 +104,9 @@ type eventQueue struct {
 	nearEnd Time // bucket-aligned; lower edge of the next undrained bucket
 
 	// tier 2: timing wheel over [nearEnd, wheelEnd).
-	buckets [wheelBuckets][]entry
-	occ     [wheelBuckets / 64]uint64
-	inWheel int
+	buckets  [wheelBuckets][]entry
+	occ      [wheelBuckets / 64]uint64
+	inWheel  int
 	wheelEnd Time // exclusive end of the current epoch's window
 
 	// tier 3: 4-ary min-heap of events with at >= wheelEnd.

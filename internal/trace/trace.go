@@ -23,6 +23,7 @@ const (
 	KindDeliver Kind = iota // frame delivered to an endpoint
 	KindDrop                // frame dropped at a switch
 	KindCustom              // user annotation
+	KindFault               // fault-layer edge (injection applied/cleared) or fault drop
 )
 
 func (k Kind) String() string {
@@ -31,6 +32,8 @@ func (k Kind) String() string {
 		return "deliver"
 	case KindDrop:
 		return "drop"
+	case KindFault:
+		return "fault"
 	default:
 		return "note"
 	}
@@ -49,6 +52,9 @@ type Event struct {
 func (e Event) String() string {
 	if e.Kind == KindCustom {
 		return fmt.Sprintf("%-12v %-10s %s", e.At, e.Where, e.Note)
+	}
+	if e.Kind == KindFault && e.Note != "" {
+		return fmt.Sprintf("%-12v %-10s %-8v %s", e.At, e.Where, e.Kind, e.Note)
 	}
 	return fmt.Sprintf("%-12v %-10s %-8v %v", e.At, e.Where, e.Kind, (&e.Pkt).String())
 }
@@ -133,6 +139,21 @@ func (t *Tracer) Note(where, format string, args ...any) {
 	t.record(Event{At: t.clock(), Kind: KindCustom, Where: where, Note: fmt.Sprintf(format, args...)})
 }
 
+// FaultAt records a fault-layer edge with an explicit timestamp (fault edges
+// fire on their target's partition, whose clock the tracer's own clock
+// function may not read safely; the injector passes the event time through).
+func (t *Tracer) FaultAt(at sim.Time, where, format string, args ...any) {
+	t.record(Event{At: at, Kind: KindFault, Where: where, Note: fmt.Sprintf(format, args...)})
+}
+
+// FaultDropHook adapts the tracer to a fault-layer drop observer (the
+// link.Link.OnFaultDrop / vswitch OnFaultDrop shape after currying the port).
+func (t *Tracer) FaultDropHook(where string) func(pkt *packet.Packet) {
+	return func(pkt *packet.Packet) {
+		t.Packet(KindFault, where, pkt)
+	}
+}
+
 // Events returns the recorded events in chronological order.
 func (t *Tracer) Events() []Event {
 	if !t.full {
@@ -186,12 +207,12 @@ type FlowStats struct {
 func (t *Tracer) Summarize() map[[2]packet.NodeID]FlowStats {
 	out := make(map[[2]packet.NodeID]FlowStats)
 	for _, e := range t.Events() {
-		if e.Kind == KindCustom {
+		if e.Kind == KindCustom || (e.Kind == KindFault && e.Note != "") {
 			continue
 		}
 		key := [2]packet.NodeID{e.Pkt.Src.Node, e.Pkt.Dst.Node}
 		s := out[key]
-		if e.Kind == KindDrop {
+		if e.Kind == KindDrop || e.Kind == KindFault {
 			s.Drops++
 		} else {
 			s.Packets++

@@ -18,6 +18,12 @@ type Stats struct {
 	// DropsByInput attributes drops to the ingress port whose buffer (or
 	// pool admission) rejected the frame.
 	DropsByInput []uint64
+	// FaultDrops counts frames blackholed by the fault layer (failed switch
+	// or an impaired ingress port); Corrupted counts the subset removed as
+	// corrupted (FCS failure at the next hop). Both are disjoint from
+	// Dropped, which stays a pure buffer-overrun signal.
+	FaultDrops metrics.Counter
+	Corrupted  uint64
 }
 
 // qpkt is a buffered packet with its forwarding-eligibility time.
@@ -55,12 +61,38 @@ type Switch struct {
 	out      []*outPort
 	occupied int // total buffered bytes
 
+	failed    bool
+	portImp   []PortImpairment // per ingress port; allocated on first use
+	faultRand *sim.Rand        // drop/corrupt decisions; set by the fault layer
+
 	// OnDrop, if set, observes every dropped frame (ingress port, packet).
 	// Used by experiment instrumentation and tests.
 	OnDrop func(in int, pkt *packet.Packet)
 
+	// OnFaultDrop, if set, observes every frame the fault layer removed.
+	OnFaultDrop func(in int, pkt *packet.Packet)
+
 	Stats Stats
 }
+
+// PortImpairment degrades one ingress port: each arriving frame is dropped
+// with probability Drop, and otherwise discarded as corrupted with
+// probability Corrupt (modeling the FCS check that would reject it at the
+// next hop). Zero value = healthy port.
+type PortImpairment struct {
+	Drop    float64
+	Corrupt float64
+}
+
+// Validate rejects probabilities outside [0,1].
+func (p PortImpairment) Validate() error {
+	if p.Drop < 0 || p.Drop > 1 || p.Corrupt < 0 || p.Corrupt > 1 {
+		return fmt.Errorf("vswitch: port impairment probabilities %+v outside [0,1]", p)
+	}
+	return nil
+}
+
+func (p PortImpairment) active() bool { return p.Drop > 0 || p.Corrupt > 0 }
 
 // inPort tracks per-input buffer occupancy (ArchVOQ accounting).
 type inPort struct {
@@ -117,8 +149,68 @@ func (s *Switch) PortStats(i int) (tx metrics.Counter, drops uint64) {
 	return s.out[i].Tx, s.out[i].Drops
 }
 
+// SetFaultRand installs the deterministic stream for probabilistic port
+// impairments. Seeded once by the fault layer before the run; consumed only
+// while an impairment is active.
+func (s *Switch) SetFaultRand(r *sim.Rand) { s.faultRand = r }
+
+// SetFailed fail-stops (or recovers) the whole switch. A failed switch
+// blackholes every arriving frame; frames already buffered drain normally
+// (the model is an ingress blackhole, not a power loss).
+func (s *Switch) SetFailed(failed bool) { s.failed = failed }
+
+// Failed reports whether the switch is currently failed.
+func (s *Switch) Failed() bool { return s.failed }
+
+// SetPortImpairment degrades ingress port i (panics on invalid values; the
+// fault layer validates plans first). A probabilistic impairment requires a
+// fault stream via SetFaultRand.
+func (s *Switch) SetPortImpairment(i int, imp PortImpairment) {
+	if err := imp.Validate(); err != nil {
+		panic(err)
+	}
+	if imp.active() && s.faultRand == nil {
+		panic("vswitch: probabilistic port impairment without a fault stream (SetFaultRand)")
+	}
+	if s.portImp == nil {
+		if !imp.active() {
+			return
+		}
+		s.portImp = make([]PortImpairment, s.params.Ports)
+	}
+	s.portImp[i] = imp
+}
+
+// faultDrop removes a frame at the fault layer (failed switch or impaired
+// port), keeping it out of the buffer-drop accounting.
+func (s *Switch) faultDrop(in int, pkt *packet.Packet, corrupted bool) {
+	s.Stats.FaultDrops.Add(pkt.BufferBytes())
+	if corrupted {
+		s.Stats.Corrupted++
+	}
+	if s.OnFaultDrop != nil {
+		s.OnFaultDrop(in, pkt)
+	}
+}
+
 // receive handles a frame arriving on input port in.
 func (s *Switch) receive(in int, pkt *packet.Packet) {
+	if s.failed {
+		s.faultDrop(in, pkt, false)
+		return
+	}
+	if s.portImp != nil {
+		if imp := s.portImp[in]; imp.active() {
+			if imp.Drop > 0 && s.faultRand.Float64() < imp.Drop {
+				s.faultDrop(in, pkt, false)
+				return
+			}
+			if imp.Corrupt > 0 && s.faultRand.Float64() < imp.Corrupt {
+				s.faultDrop(in, pkt, true)
+				return
+			}
+		}
+	}
 	outIdx := pkt.NextRoutePort()
 	if outIdx < 0 || outIdx >= len(s.out) || s.out[outIdx].link == nil {
 		s.Stats.RouteErrors++
