@@ -4,6 +4,7 @@
 //
 //	diablo list
 //	diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W] [-faults SPEC]
+//	                [-trace-out FILE] [-manifest-out FILE]
 //	diablo all  [-requests N] [-iterations N]
 //
 // IDs follow the paper: fig2, table1, table2, proto, fig6a, fig6b, fig8,
@@ -85,6 +86,8 @@ func parseOpts(args []string) diablo.ExperimentOptions {
 	seed := fs.Uint64("seed", 0, "master seed (0 = default)")
 	partitions := fs.Int("partitions", 0, "parallel workers for multi-rack runs (0/1 = serial; results are identical at any value)")
 	faults := fs.String("faults", "", `fault schedule for faultmc/faultincast, e.g. "tordegrade rack=0 at=30ms dur=200ms loss=0.5" (empty = the experiment's built-in schedule)`)
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON of the observed run (perf/faultmc/faultincast; open in ui.perfetto.dev)")
+	manifestOut := fs.String("manifest-out", "", "write a run-manifest JSON (schema diablo/run-manifest/v1) of the observed run")
 	_ = fs.Parse(args)
 
 	var opts diablo.ExperimentOptions
@@ -93,6 +96,8 @@ func parseOpts(args []string) diablo.ExperimentOptions {
 	opts.Seed = *seed
 	opts.Partitions = *partitions
 	opts.Faults = *faults
+	opts.TraceOut = *traceOut
+	opts.ManifestOut = *manifestOut
 	if *senders != "" {
 		for _, s := range strings.Split(*senders, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -110,5 +115,6 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   diablo list
   diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W] [-faults SPEC]
+             [-trace-out FILE] [-manifest-out FILE]
   diablo all [flags]`)
 }

@@ -25,6 +25,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	traceDrops := flag.Bool("trace-drops", false, "print a tcpdump-style trace of dropped frames")
 	faults := flag.String("faults", "", `fault schedule, e.g. "edgedegrade node=0 at=0 dur=600s loss=0.1 dir=down"`)
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (open in ui.perfetto.dev)")
+	manifestOut := flag.String("manifest-out", "", "write a run-manifest JSON (schema diablo/run-manifest/v1)")
 	flag.Parse()
 
 	cfg := diablo.DefaultIncast(*senders)
@@ -62,7 +64,17 @@ func main() {
 		}
 	}
 
-	res, err := diablo.RunIncast(cfg)
+	var res diablo.IncastResult
+	var err error
+	if *traceOut != "" || *manifestOut != "" {
+		var obsn *diablo.Observation
+		res, obsn, err = diablo.RunIncastObserved(cfg, diablo.DefaultObserve())
+		if err == nil {
+			err = writeObservation(obsn, cfg, *traceOut, *manifestOut)
+		}
+	} else {
+		res, err = diablo.RunIncast(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "incast:", err)
 		os.Exit(1)
@@ -85,6 +97,44 @@ func main() {
 		fmt.Printf("\n# dropped frames (last %d; %d older dropped from the ring)\n", tr.Len(), tr.Dropped)
 		fmt.Print(tr.String())
 	}
+}
+
+func writeObservation(obsn *diablo.Observation, cfg diablo.IncastConfig, traceOut, manifestOut string) error {
+	if traceOut != "" && obsn.Trace != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		err = obsn.Trace.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace     %d events -> %s (open in ui.perfetto.dev)\n", obsn.Trace.Len(), traceOut)
+	}
+	if manifestOut != "" {
+		m := obsn.BuildManifest("incast", cfg.Seed, map[string]any{
+			"senders":    cfg.Senders,
+			"block":      cfg.BlockBytes,
+			"iterations": cfg.Iterations,
+			"epoll":      cfg.Epoll,
+		})
+		f, err := os.Create(manifestOut)
+		if err != nil {
+			return err
+		}
+		err = m.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("manifest  %s -> %s\n", m.Schema, manifestOut)
+	}
+	return nil
 }
 
 func clientName(epoll bool) string {

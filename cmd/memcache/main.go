@@ -22,6 +22,8 @@ func main() {
 	extraNs := flag.Int("extra-latency-ns", 0, "extra switch port-to-port latency in ns")
 	seed := flag.Uint64("seed", 1, "master seed")
 	faults := flag.String("faults", "", `fault schedule, e.g. "tordegrade rack=0 at=30ms dur=200ms loss=0.5; nicstall node=3 at=1ms dur=500us"`)
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (open in ui.perfetto.dev)")
+	manifestOut := flag.String("manifest-out", "", "write a run-manifest JSON (schema diablo/run-manifest/v1)")
 	flag.Parse()
 
 	cfg := diablo.DefaultMemcached()
@@ -63,7 +65,17 @@ func main() {
 		cfg.Faults = plan
 	}
 
-	res, err := diablo.RunMemcached(cfg)
+	var res *diablo.MemcachedResult
+	var err error
+	if *traceOut != "" || *manifestOut != "" {
+		var obsn *diablo.Observation
+		res, obsn, err = diablo.RunMemcachedObserved(cfg, diablo.DefaultObserve())
+		if err == nil {
+			err = writeObservation(obsn, cfg, *traceOut, *manifestOut)
+		}
+	} else {
+		res, err = diablo.RunMemcached(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memcache:", err)
 		os.Exit(1)
@@ -91,6 +103,45 @@ func main() {
 	for _, p := range res.Overall.TailCDF(0.95) {
 		fmt.Printf("%12.1f %.5f\n", p.Value.Microseconds(), p.Fraction)
 	}
+}
+
+func writeObservation(obsn *diablo.Observation, cfg diablo.MemcachedConfig, traceOut, manifestOut string) error {
+	if traceOut != "" && obsn.Trace != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		err = obsn.Trace.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace      %d events -> %s (open in ui.perfetto.dev)\n", obsn.Trace.Len(), traceOut)
+	}
+	if manifestOut != "" {
+		m := obsn.BuildManifest("memcache", cfg.Seed, map[string]any{
+			"arrays":              cfg.Arrays,
+			"requests_per_client": cfg.RequestsPerClient,
+			"proto":               fmt.Sprint(cfg.Proto),
+			"kernel":              cfg.Profile.Name,
+			"version":             cfg.Version.Name,
+		})
+		f, err := os.Create(manifestOut)
+		if err != nil {
+			return err
+		}
+		err = m.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("manifest   %s -> %s\n", m.Schema, manifestOut)
+	}
+	return nil
 }
 
 func versionByName(name string) (diablo.MemcachedVersion, bool) {

@@ -43,6 +43,7 @@ import (
 	"diablo/internal/fault"
 	"diablo/internal/kernel"
 	"diablo/internal/metrics"
+	"diablo/internal/obs"
 	"diablo/internal/packet"
 	"diablo/internal/sim"
 	"diablo/internal/topology"
@@ -254,6 +255,41 @@ var (
 // EngineComparisonStats carries the full engine-comparison measurement
 // (throughput and allocs/event for both engines); see core.EngineComparisonMeasured.
 type EngineComparisonStats = core.EngineComparisonStats
+
+// Observability: deterministic simulated-time stats, engine introspection and
+// Chrome-trace export (see DESIGN.md §5.8 for the determinism contract).
+type (
+	// ObserveConfig selects what an attached Observation records.
+	ObserveConfig = core.ObserveConfig
+	// Observation bundles the stats registry and trace attached to a cluster.
+	Observation = core.Observation
+	// StatsRegistry samples instruments on the simulated clock; its encoded
+	// series are byte-identical at any worker count.
+	StatsRegistry = obs.Registry
+	// ChromeTrace collects trace events for chrome://tracing / Perfetto.
+	ChromeTrace = obs.Trace
+	// RunManifest is the machine-readable record of one observed run
+	// (schema diablo/run-manifest/v1).
+	RunManifest = obs.Manifest
+	// EngineIntrospection exposes per-partition utilization and barrier
+	// statistics of a parallel run.
+	EngineIntrospection = sim.EngineIntrospection
+)
+
+// Observability constructors and runners.
+var (
+	// DefaultObserve enables kernel/syscall/packet spans with cluster-level
+	// gauges (per-node gauges off).
+	DefaultObserve = core.DefaultObserve
+	// Observe attaches a stats registry and trace to a cluster before Run.
+	Observe = core.Observe
+	// RunMemcachedObserved and RunIncastObserved run a workload with an
+	// Observation attached and return it finished.
+	RunMemcachedObserved = core.RunMemcachedObserved
+	RunIncastObserved    = core.RunIncastObserved
+	// ManifestDegradation converts a Degradation for a run manifest.
+	ManifestDegradation = core.ManifestDegradation
+)
 
 // Fault injection and graceful degradation (see package fault and DESIGN.md
 // §5.7 for the determinism contract).

@@ -1,6 +1,9 @@
 package diablo
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -98,5 +101,90 @@ func TestExperimentSmallRuns(t *testing.T) {
 		if s.Len() != 2 {
 			t.Fatalf("series %q has %d points, want 2", s.Name, s.Len())
 		}
+	}
+}
+
+func TestObservedExperimentWritesArtifacts(t *testing.T) {
+	// The -trace-out / -manifest-out path end to end through the registry:
+	// a graceful-degradation experiment with observation attached must write
+	// a loadable Chrome trace and a run manifest carrying the degradation.
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	out, err := RunExperiment("faultincast", ExperimentOptions{
+		Iterations:  2,
+		TraceOut:    tracePath,
+		ManifestOut: manifestPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(out.Notes, "\n")
+	if !strings.Contains(joined, "observed faulted run") {
+		t.Fatalf("observation note missing:\n%s", joined)
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+
+	manifestData, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(manifestData, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m["schema"] != "diablo/run-manifest/v1" {
+		t.Fatalf("manifest schema = %v", m["schema"])
+	}
+	if m["experiment"] != "faultincast" {
+		t.Fatalf("manifest experiment = %v", m["experiment"])
+	}
+	if m["degradation"] == nil {
+		t.Fatal("manifest degradation missing")
+	}
+	if m["stats_hash"] == "" || m["stats_hash"] == nil {
+		t.Fatal("manifest stats hash missing")
+	}
+}
+
+func TestObservedFaultMCExperiment(t *testing.T) {
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "m.json")
+	out, err := RunExperiment("faultmc", ExperimentOptions{
+		Requests:    5,
+		ManifestOut: manifestPath, // manifest only: TraceOut stays optional
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) == 0 {
+		t.Fatal("degradation table missing")
+	}
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if m["experiment"] != "faultmc" || m["degradation"] == nil {
+		t.Fatalf("manifest incomplete: experiment=%v", m["experiment"])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "trace.json")); !os.IsNotExist(err) {
+		t.Fatal("trace written without TraceOut")
 	}
 }

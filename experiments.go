@@ -2,12 +2,15 @@ package diablo
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strings"
 
 	"diablo/internal/core"
 	"diablo/internal/fault"
 	"diablo/internal/fpga"
 	"diablo/internal/metrics"
+	"diablo/internal/obs"
 	"diablo/internal/survey"
 )
 
@@ -31,6 +34,56 @@ type ExperimentOptions struct {
 	// grammar, e.g. "tordegrade rack=0 at=30ms dur=200ms loss=0.5". Empty
 	// keeps each experiment's built-in schedule; other experiments ignore it.
 	Faults string
+	// TraceOut, if non-empty, writes a Chrome trace-event JSON file of the
+	// experiment's observed run — load it in ui.perfetto.dev or
+	// chrome://tracing. Supported by perf, faultmc and faultincast; other
+	// experiments ignore it.
+	TraceOut string
+	// ManifestOut, if non-empty, writes a machine-readable run manifest
+	// (schema diablo/run-manifest/v1: config, seed, stats series, engine
+	// balance, degradation) for the same observed run as TraceOut.
+	ManifestOut string
+}
+
+// observing reports whether any observation output was requested.
+func (o ExperimentOptions) observing() bool {
+	return o.TraceOut != "" || o.ManifestOut != ""
+}
+
+// writeObservation writes the requested trace/manifest files and returns a
+// human-readable note describing what landed where.
+func (o ExperimentOptions) writeObservation(obsn *core.Observation, m *obs.Manifest) (string, error) {
+	var notes []string
+	if o.TraceOut != "" && obsn.Trace != nil {
+		f, err := os.Create(o.TraceOut)
+		if err != nil {
+			return "", err
+		}
+		err = obsn.Trace.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return "", err
+		}
+		notes = append(notes, fmt.Sprintf("trace: %d events -> %s (open in ui.perfetto.dev)",
+			obsn.Trace.Len(), o.TraceOut))
+	}
+	if o.ManifestOut != "" {
+		f, err := os.Create(o.ManifestOut)
+		if err != nil {
+			return "", err
+		}
+		err = m.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return "", err
+		}
+		notes = append(notes, fmt.Sprintf("manifest: %s -> %s", m.Schema, o.ManifestOut))
+	}
+	return strings.Join(notes, "; "), nil
 }
 
 // ExperimentOutput is the rendered result of one experiment.
@@ -268,6 +321,15 @@ func runFaultMC(o ExperimentOptions) (*ExperimentOutput, error) {
 	}
 	cfg.Memcached.Partitions = o.Partitions
 
+	// With observation requested, attach to every cluster the experiment
+	// builds and keep the last — the faulted run.
+	var obsn *core.Observation
+	if o.observing() {
+		cfg.Memcached.OnCluster = func(c *core.Cluster) {
+			obsn = core.Observe(c, core.DefaultObserve())
+		}
+	}
+
 	var r *core.FaultedMemcachedResult
 	var err error
 	if o.Faults != "" {
@@ -289,6 +351,19 @@ func runFaultMC(o ExperimentOptions) (*ExperimentOutput, error) {
 			len(r.Faulted.FaultEdges), r.Degradation.Inflation(0.999),
 			r.Faulted.Lost(), r.Faulted.Attempted,
 			100*metrics.LossRate(r.Faulted.Lost(), r.Faulted.Attempted)))
+	if obsn != nil {
+		obsn.Finish()
+		m := obsn.BuildManifest("faultmc", cfg.Memcached.Seed, map[string]any{
+			"requests_per_client": cfg.Memcached.RequestsPerClient,
+			"faults":              r.Plan.String(),
+		})
+		m.Degradation = core.ManifestDegradation(r.Degradation, r.Faulted.Attempted)
+		note, werr := o.writeObservation(obsn, m)
+		if werr != nil {
+			return nil, werr
+		}
+		out.Notes = append(out.Notes, "observed faulted run: "+note)
+	}
 	return out, nil
 }
 
@@ -299,6 +374,13 @@ func runFaultIncast(o ExperimentOptions) (*ExperimentOutput, error) {
 	}
 	if o.Seed != 0 {
 		cfg.Incast.Seed = o.Seed
+	}
+
+	var obsn *core.Observation
+	if o.observing() {
+		cfg.Incast.OnCluster = func(c *core.Cluster) {
+			obsn = core.Observe(c, core.DefaultObserve())
+		}
 	}
 
 	var r *core.FaultedIncastResult
@@ -322,6 +404,22 @@ func runFaultIncast(o ExperimentOptions) (*ExperimentOutput, error) {
 			r.Baseline.GoodputBps/1e6, r.Faulted.GoodputBps/1e6, r.GoodputRatio(),
 			r.Baseline.Retransmits, r.Faulted.Retransmits,
 			r.Baseline.Timeouts, r.Faulted.Timeouts))
+	if obsn != nil {
+		obsn.Finish()
+		m := obsn.BuildManifest("faultincast", cfg.Incast.Seed, map[string]any{
+			"senders":    cfg.Incast.Senders,
+			"iterations": cfg.Incast.Iterations,
+			"faults":     r.Plan.String(),
+		})
+		// Incast degrades goodput, not a request count; loss rate is not a
+		// per-request notion here, so attempted stays 0.
+		m.Degradation = core.ManifestDegradation(r.Degradation, 0)
+		note, werr := o.writeObservation(obsn, m)
+		if werr != nil {
+			return nil, werr
+		}
+		out.Notes = append(out.Notes, "observed faulted run: "+note)
+	}
 	return out, nil
 }
 
@@ -339,5 +437,31 @@ func runPerf(o ExperimentOptions) (*ExperimentOutput, error) {
 	out.Notes = append(out.Notes, fmt.Sprintf(
 		"engine comparison (8 partitions): sequential %.2fM ev/s, quantum-barrier parallel %.2fM ev/s (%.1fx)",
 		seq/1e6, par/1e6, par/seq))
+	if o.observing() {
+		cfg := core.DefaultMemcached()
+		cfg.Arrays = 1
+		cfg.RequestsPerClient = requests
+		cfg.Partitions = o.Partitions
+		if cfg.Partitions <= 1 {
+			cfg.Partitions = 2
+		}
+		if o.Seed != 0 {
+			cfg.Seed = o.Seed
+		}
+		_, obsn, err := core.RunMemcachedObserved(cfg, core.DefaultObserve())
+		if err != nil {
+			return nil, err
+		}
+		m := obsn.BuildManifest("perf/memcached-1array", cfg.Seed, map[string]any{
+			"arrays":              cfg.Arrays,
+			"requests_per_client": cfg.RequestsPerClient,
+			"partitions":          cfg.Partitions,
+		})
+		note, werr := o.writeObservation(obsn, m)
+		if werr != nil {
+			return nil, werr
+		}
+		out.Notes = append(out.Notes, "observed §5 memcached run: "+note)
+	}
 	return out, nil
 }

@@ -158,6 +158,7 @@ var modelPrefixes = []string{
 	"diablo/internal/topology",
 	"diablo/internal/workload",
 	"diablo/internal/trace",
+	"diablo/internal/obs",
 }
 
 func hasPathPrefix(path, prefix string) bool {

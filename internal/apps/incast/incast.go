@@ -96,6 +96,10 @@ type ClientParams struct {
 	RequestBytes int
 	// PerIterInstr is the client-side block processing cost per iteration.
 	PerIterInstr int64
+	// OnIteration, when set, observes each completed synchronized read
+	// (iteration index, start and end simulated times). Runs on the client's
+	// thread; must not mutate model state.
+	OnIteration func(iter int, start, end sim.Time)
 }
 
 // DefaultClient returns the paper's §4.1 client parameters.
@@ -202,6 +206,9 @@ func installPthreadClient(m *kernel.Machine, p ClientParams, done func(Result)) 
 			barrier.Wait(t) // all workers done
 			t.Compute(p.PerIterInstr)
 			iters = append(iters, t.Now().Sub(iterStart))
+			if p.OnIteration != nil {
+				p.OnIteration(iter, iterStart, t.Now())
+			}
 		}
 		finish(p, socks, start, t.Now(), iters, done)
 		for _, s := range socks {
@@ -262,6 +269,9 @@ func installEpollClient(m *kernel.Machine, p ClientParams, done func(Result)) {
 			}
 			t.Compute(p.PerIterInstr)
 			iters = append(iters, t.Now().Sub(iterStart))
+			if p.OnIteration != nil {
+				p.OnIteration(iter, iterStart, t.Now())
+			}
 		}
 		finish(p, socks, start, t.Now(), iters, done)
 		for _, s := range socks {

@@ -420,6 +420,22 @@ func (c *Cluster) Shutdown() {
 	}
 }
 
+// Events returns the total number of events dispatched across the cluster's
+// engines since creation. Call after the run has returned.
+func (c *Cluster) Events() uint64 {
+	if c.pe != nil {
+		var total uint64
+		for i := 0; i < c.pe.Partitions(); i++ {
+			total += c.pe.Partition(i).Executed()
+		}
+		return total
+	}
+	if e, ok := c.eng.(*sim.Engine); ok {
+		return e.Executed
+	}
+	return 0
+}
+
 // SwitchDrops sums dropped packets across all switches.
 func (c *Cluster) SwitchDrops() uint64 {
 	var total uint64

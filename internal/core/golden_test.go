@@ -1,0 +1,148 @@
+package core
+
+// Golden-replay snapshots: the committed digests in testdata/ pin the exact
+// observable behavior of the two flagship workloads at fixed seeds — seed,
+// total dispatched events, elapsed simulated time, and the final stats down
+// to latency quantiles. Any semantic change to the models (packet costs,
+// scheduler behavior, protocol timing) shifts at least one line and fails
+// loudly. After an INTENDED model change, rebless with:
+//
+//	go test ./internal/core -run TestGolden -update
+//
+// and review the digest diff like any other code change.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"diablo/internal/metrics"
+	"diablo/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden digest files")
+
+func goldenCompare(t *testing.T, file, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("%s line %d:\n  want: %s\n  got:  %s", file, i+1, w, g)
+		}
+	}
+	t.Fatalf("%s diverged from the committed digest; if the model change is intended, rebless with -update and review the diff", file)
+}
+
+func histLines(b *strings.Builder, prefix string, h *metrics.Histogram) {
+	fmt.Fprintf(b, "%s_count %d\n", prefix, h.Count())
+	fmt.Fprintf(b, "%s_mean_ps %d\n", prefix, int64(h.Mean()))
+	fmt.Fprintf(b, "%s_p50_ps %d\n", prefix, int64(h.Percentile(0.50)))
+	fmt.Fprintf(b, "%s_p99_ps %d\n", prefix, int64(h.Percentile(0.99)))
+	fmt.Fprintf(b, "%s_p999_ps %d\n", prefix, int64(h.Percentile(0.999)))
+	fmt.Fprintf(b, "%s_max_ps %d\n", prefix, int64(h.Max()))
+}
+
+func TestGoldenMemcached(t *testing.T) {
+	cfg := smallMemcached()
+	cfg.RequestsPerClient = 15
+	cfg.Partitions = 2
+	cfg.Seed = 7
+	var cluster *Cluster
+	cfg.OnCluster = func(c *Cluster) { cluster = c }
+	res, err := RunMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("# golden digest: memcached (arrays=1, requests=15, partitions=2)\n")
+	fmt.Fprintf(&b, "seed %d\n", cfg.Seed)
+	fmt.Fprintf(&b, "events %d\n", cluster.Events())
+	fmt.Fprintf(&b, "elapsed_ps %d\n", int64(res.Elapsed))
+	fmt.Fprintf(&b, "clients %d\n", res.Clients)
+	fmt.Fprintf(&b, "clients_done %d\n", res.ClientsDone)
+	fmt.Fprintf(&b, "servers %d\n", res.Servers)
+	fmt.Fprintf(&b, "samples %d\n", res.Samples)
+	fmt.Fprintf(&b, "completed %d\n", res.Completed)
+	fmt.Fprintf(&b, "retried %d\n", res.Retried)
+	fmt.Fprintf(&b, "lost %d\n", res.Lost())
+	fmt.Fprintf(&b, "switch_drops %d\n", res.SwitchDrops)
+	histLines(&b, "latency", res.Overall)
+	goldenCompare(t, "golden_memcached.txt", b.String())
+}
+
+func TestGoldenIncast(t *testing.T) {
+	cfg := DefaultIncast(6)
+	cfg.Iterations = 8
+	cfg.BlockBytes = 64 * 1024
+	cfg.Seed = 3
+	var cluster *Cluster
+	cfg.OnCluster = func(c *Cluster) { cluster = c }
+	res, err := RunIncast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("# golden digest: incast (senders=6, iterations=8, block=64KiB)\n")
+	fmt.Fprintf(&b, "seed %d\n", cfg.Seed)
+	fmt.Fprintf(&b, "events %d\n", cluster.Events())
+	fmt.Fprintf(&b, "elapsed_ps %d\n", int64(res.Elapsed))
+	fmt.Fprintf(&b, "bytes %d\n", res.Bytes)
+	fmt.Fprintf(&b, "goodput_bps %s\n", strconv.FormatFloat(res.GoodputBps, 'g', -1, 64))
+	fmt.Fprintf(&b, "retransmits %d\n", res.Retransmits)
+	fmt.Fprintf(&b, "timeouts %d\n", res.Timeouts)
+	fmt.Fprintf(&b, "fast_retransmits %d\n", res.FastRetransmits)
+	for i, d := range res.IterTimes {
+		fmt.Fprintf(&b, "iter%d_ps %d\n", i, int64(d))
+	}
+	goldenCompare(t, "golden_incast.txt", b.String())
+}
+
+// TestGoldenElapsedSanity guards the digest's elapsed field semantics: the
+// simulated clock at halt, in picoseconds, strictly positive and below the
+// auto-deadline.
+func TestGoldenElapsedSanity(t *testing.T) {
+	path := filepath.Join("testdata", "golden_memcached.txt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Skip("golden file not yet blessed")
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, "elapsed_ps "); ok {
+			ps, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				t.Fatalf("bad elapsed_ps line %q: %v", line, err)
+			}
+			if ps <= 0 || sim.Duration(ps) > 60*sim.Second {
+				t.Fatalf("elapsed %d ps implausible", ps)
+			}
+			return
+		}
+	}
+	t.Fatal("elapsed_ps line missing")
+}

@@ -48,6 +48,9 @@ type IncastConfig struct {
 	// OnCluster, if set, observes the wired cluster before the run starts —
 	// the hook for attaching tracers and custom instrumentation.
 	OnCluster func(*Cluster)
+	// OnIteration, if set, observes each completed synchronized read on the
+	// client's thread (used by the observability layer to trace iterations).
+	OnIteration func(iter int, start, end sim.Time)
 }
 
 // DefaultIncast returns the Figure 6a setup for n senders: 1 Gbps
@@ -105,6 +108,7 @@ func RunIncast(cfg IncastConfig) (incast.Result, error) {
 	if cfg.Iterations > 0 {
 		clientParams.Iterations = cfg.Iterations
 	}
+	clientParams.OnIteration = cfg.OnIteration
 
 	var result *incast.Result
 	incast.InstallClient(cluster.Machine(0), clientParams, func(r incast.Result) {

@@ -72,6 +72,10 @@ type MemcachedConfig struct {
 	// OnCluster, if set, observes the wired cluster before the run starts —
 	// the hook for attaching tracers and custom instrumentation.
 	OnCluster func(*Cluster)
+	// OnSample, if set, observes every client sample (including warmup) with
+	// the client's node. It fires on the client machine's partition, before
+	// aggregation; used by the observability layer to trace request spans.
+	OnSample func(node packet.NodeID, s memcache.Sample)
 }
 
 // DefaultMemcached returns the paper's 2,000-node UDP configuration at a
@@ -246,6 +250,9 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		}
 		seen := 0 // per-client, only touched from its own partition
 		cp.OnSample = func(s memcache.Sample) {
+			if cfg.OnSample != nil {
+				cfg.OnSample(node, s)
+			}
 			seen++
 			if seen <= cfg.Warmup {
 				mu.Lock()

@@ -1,0 +1,386 @@
+package core
+
+// Observability wiring: attach an obs.Registry and an obs.Trace to a wired
+// cluster. This file maps the model onto observable names and trace lanes:
+//
+//   - Each engine partition is one Chrome-trace process lane ("partition 3
+//     (rack 3)", "... (fabric)"); per-node kernel/user/net/app activity
+//     appears as threads inside its rack's lane.
+//   - Registry instruments carry hierarchical names ("rack0/tor/port3/qdepth",
+//     "partition2/executed") and are registered on the scheduler of the
+//     partition that owns the observed state, which is what makes the
+//     recorded series worker-count invariant (see package obs).
+//   - Everything is opt-in and detachable: an unobserved cluster has nil
+//     hooks everywhere and pays only nil checks.
+
+import (
+	"fmt"
+
+	"diablo/internal/apps/incast"
+	"diablo/internal/apps/memcache"
+	"diablo/internal/kernel"
+	"diablo/internal/metrics"
+	"diablo/internal/obs"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+	"diablo/internal/vswitch"
+)
+
+// ObserveConfig selects what an Observation collects.
+type ObserveConfig struct {
+	// SampleEvery is the registry sampling tick in simulated time
+	// (0 = obs.DefaultSampleEvery).
+	SampleEvery sim.Duration
+	// TraceEvents bounds the trace buffer (0 = obs.DefaultTraceCapacity,
+	// < 0 disables the trace entirely).
+	TraceEvents int
+	// PerNode adds per-node gauges (runq, qdisc, NIC rings, TCP
+	// retransmits). Off by default: a 2,000-node cluster would register
+	// 10,000 series.
+	PerNode bool
+	// KernelSpans traces kernel-context work (irq/softirq/tcp_tx) per node.
+	KernelSpans bool
+	// SyscallSpans traces per-thread syscall spans per node.
+	SyscallSpans bool
+	// PacketSpans traces packet lifetimes (first bit on the wire at the
+	// source NIC to socket demux at the destination).
+	PacketSpans bool
+}
+
+// DefaultObserve enables the trace span sources and cluster-level gauges;
+// per-node gauges stay off.
+func DefaultObserve() ObserveConfig {
+	return ObserveConfig{KernelSpans: true, SyscallSpans: true, PacketSpans: true}
+}
+
+// Observation is a registry plus trace attached to one cluster.
+type Observation struct {
+	Registry *obs.Registry
+	Trace    *obs.Trace
+
+	cluster  *Cluster
+	cfg      ObserveConfig
+	finished bool
+}
+
+// Observe wires an Observation into a cluster. Call after New (the hook
+// OnCluster in the experiment configs fires at the right moment) and before
+// the run; call Finish after the run returns.
+func Observe(c *Cluster, cfg ObserveConfig) *Observation {
+	o := &Observation{
+		Registry: obs.NewRegistry(cfg.SampleEvery),
+		cluster:  c,
+		cfg:      cfg,
+	}
+	if cfg.TraceEvents >= 0 {
+		o.Trace = obs.NewTrace(cfg.TraceEvents)
+	}
+
+	topo := c.Topo
+	parallel := c.pe != nil
+
+	// Partition lanes. The fabric partition (array + DC switches) is the
+	// last one; every rack partition is named after its rack.
+	if parallel {
+		c.pe.EnableIntrospection()
+		fabric := topo.Racks()
+		for i := 0; i < c.pe.Partitions(); i++ {
+			name := fmt.Sprintf("partition %d (rack %d)", i, i)
+			if i == fabric {
+				name = fmt.Sprintf("partition %d (fabric)", i)
+			}
+			o.Trace.SetProcessName(i, name)
+		}
+	} else {
+		o.Trace.SetProcessName(0, "engine (serial)")
+	}
+
+	// Engine gauges: per-partition dispatched events and queue occupancy,
+	// each sampled on its own partition.
+	if parallel {
+		for i := 0; i < c.pe.Partitions(); i++ {
+			p := c.pe.Partition(i)
+			o.Registry.GaugeFunc(p, fmt.Sprintf("partition%d/executed", i), func() float64 {
+				return float64(p.Executed())
+			})
+			o.Registry.GaugeFunc(p, fmt.Sprintf("partition%d/pending", i), func() float64 {
+				return float64(p.QueueStats().Total())
+			})
+		}
+	} else if eng, ok := c.eng.(*sim.Engine); ok {
+		o.Registry.GaugeFunc(eng, "partition0/executed", func() float64 {
+			return float64(eng.Executed)
+		})
+		o.Registry.GaugeFunc(eng, "partition0/pending", func() float64 {
+			return float64(eng.QueueStats().Total())
+		})
+	}
+
+	// Switch gauges. Each ToR lives on its rack's partition; array and DC
+	// switches live on the fabric partition.
+	sched := func(part int) sim.Scheduler {
+		if parallel {
+			return c.pe.Partition(part)
+		}
+		return c.eng
+	}
+	fabric := topo.Racks()
+	for r, sw := range c.Tors {
+		o.observeSwitch(sched(r), fmt.Sprintf("rack%d/tor", r), sw)
+	}
+	for a, sw := range c.Arrays {
+		o.observeSwitch(sched(fabric), fmt.Sprintf("array%d", a), sw)
+	}
+	if c.DC != nil {
+		o.observeSwitch(sched(fabric), "dc", c.DC)
+	}
+
+	// Inter-partition uplink byte counters: the ToR->array direction is
+	// owned by the rack partition, the array->ToR direction by the fabric.
+	if topo.MultiRack() {
+		upPort := topo.TorUplinkPort()
+		for r := 0; r < topo.Racks(); r++ {
+			up := c.Tors[r].OutputLink(upPort)
+			o.Registry.GaugeFunc(sched(r), fmt.Sprintf("rack%d/uplink/tx_bytes", r), func() float64 {
+				return float64(up.Stats.Bytes)
+			})
+			down := c.Arrays[topo.ArrayOf(r)].OutputLink(topo.RackInArray(r))
+			o.Registry.GaugeFunc(sched(fabric), fmt.Sprintf("rack%d/downlink/tx_bytes", r), func() float64 {
+				return float64(down.Stats.Bytes)
+			})
+		}
+	}
+
+	// Per-node gauges and trace hooks. A machine's scheduler is its rack's
+	// partition handle, so each instrument lands on its owning partition.
+	for _, m := range c.Machines {
+		node := m.Node()
+		pid := 0
+		if parallel {
+			pid = topo.RackOf(node)
+		}
+		if cfg.PerNode {
+			o.observeMachine(m)
+		}
+		if o.Trace != nil {
+			o.traceMachine(m, pid, node)
+		}
+	}
+
+	o.Registry.Start()
+	return o
+}
+
+// observeSwitch registers queue-depth and buffer gauges for one switch.
+func (o *Observation) observeSwitch(sched sim.Scheduler, prefix string, sw *vswitch.Switch) {
+	o.Registry.GaugeFunc(sched, prefix+"/occupied_bytes", func() float64 {
+		return float64(sw.Occupied())
+	})
+	o.Registry.GaugeFunc(sched, prefix+"/queued_pkts", func() float64 {
+		return float64(sw.QueuedPackets())
+	})
+	for i := 0; i < sw.Params().Ports; i++ {
+		port := i
+		o.Registry.GaugeFunc(sched, fmt.Sprintf("%s/port%d/qdepth", prefix, port), func() float64 {
+			return float64(sw.PortQueueDepth(port))
+		})
+	}
+}
+
+// observeMachine registers per-node gauges on the machine's own scheduler.
+func (o *Observation) observeMachine(m *kernel.Machine) {
+	sched := m.Scheduler()
+	prefix := fmt.Sprintf("node%d", m.Node())
+	o.Registry.GaugeFunc(sched, prefix+"/runq", func() float64 {
+		return float64(m.RunQueueLen())
+	})
+	o.Registry.GaugeFunc(sched, prefix+"/qdisc", func() float64 {
+		return float64(m.QdiscQueued())
+	})
+	o.Registry.GaugeFunc(sched, prefix+"/nic/rxq", func() float64 {
+		return float64(m.NIC().RxPending())
+	})
+	o.Registry.GaugeFunc(sched, prefix+"/nic/txq", func() float64 {
+		return float64(m.NIC().TxPending())
+	})
+	o.Registry.GaugeFunc(sched, prefix+"/tcp/retransmits", func() float64 {
+		return float64(m.TCPStats().Retransmits)
+	})
+}
+
+// traceMachine installs the machine's span hooks, emitting into the rack's
+// partition lane.
+func (o *Observation) traceMachine(m *kernel.Machine, pid int, node packet.NodeID) {
+	tr := o.Trace
+	if o.cfg.KernelSpans {
+		tid := fmt.Sprintf("node%d kernel", node)
+		m.OnKernelSpan = func(kind kernel.KernelSpanKind, start sim.Time, d sim.Duration) {
+			tr.Span(pid, tid, "kernel", kind.String(), start, d)
+		}
+	}
+	if o.cfg.SyscallSpans {
+		tid := fmt.Sprintf("node%d user", node)
+		m.OnSyscallSpan = func(thread string, start sim.Time, d sim.Duration) {
+			tr.Span(pid, tid, "syscall", thread, start, d)
+		}
+	}
+	if o.cfg.PacketSpans {
+		tid := fmt.Sprintf("node%d net", node)
+		m.OnPacketDelivered = func(pkt *packet.Packet, at sim.Time) {
+			// Loopback packets never cross a NIC, so SentAt stays zero.
+			if pkt.SentAt <= 0 || at < pkt.SentAt {
+				return
+			}
+			name := fmt.Sprintf("%s %d->%d", protoName(pkt.Proto), pkt.Src.Node, pkt.Dst.Node)
+			tr.Span(pid, tid, "packet", name, pkt.SentAt, at.Sub(pkt.SentAt))
+		}
+	}
+}
+
+func protoName(p packet.Proto) string {
+	switch p {
+	case packet.ProtoUDP:
+		return "udp"
+	case packet.ProtoTCP:
+		return "tcp"
+	default:
+		return "pkt"
+	}
+}
+
+// Finish seals the observation after the run: sampling stops and the fault
+// edges recorded by the cluster render as global trace instants (vertical
+// lines across every lane in Perfetto).
+func (o *Observation) Finish() {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	o.Registry.Stop()
+	for _, e := range o.cluster.FaultEdges() {
+		o.Trace.GlobalInstant("fault", e.Where, e.At, map[string]string{"detail": e.Detail})
+	}
+}
+
+// BuildManifest assembles the machine-readable run record. Call after
+// Finish. The config map should carry the experiment's knobs (the typed
+// configs hold function hooks, so callers flatten them to data here).
+func (o *Observation) BuildManifest(experiment string, seed uint64, config map[string]any) *obs.Manifest {
+	c := o.cluster
+	m := &obs.Manifest{
+		Schema:     obs.ManifestSchema,
+		Experiment: experiment,
+		Seed:       seed,
+		Config:     config,
+		Workers:    c.Workers(),
+		Partitions: c.Partitions(),
+		QuantumPs:  int64(c.Quantum()),
+		ElapsedPs:  int64(c.Now()),
+		Events:     c.Events(),
+		StatsHash:  o.Registry.Hash(),
+		Series:     obs.SeriesFromRegistry(o.Registry),
+		Histograms: obs.HistogramsFromRegistry(o.Registry),
+	}
+	if c.pe != nil && c.pe.IntrospectionEnabled() {
+		m.Engine = obs.EngineFromIntrospection(c.pe.Introspection())
+	}
+	for _, e := range c.FaultEdges() {
+		m.FaultEdges = append(m.FaultEdges, obs.FaultEdgeJSON{
+			AtPs: int64(e.At), Where: e.Where, Detail: e.Detail,
+		})
+	}
+	return m
+}
+
+// ManifestDegradation converts a degradation table for the manifest.
+// attempted is the faulted run's attempted request count (0 when unknown;
+// the loss rate is then omitted as 0).
+func ManifestDegradation(d *metrics.Degradation, attempted uint64) *obs.DegradationJSON {
+	if d == nil {
+		return nil
+	}
+	out := &obs.DegradationJSON{
+		Name:          d.Name,
+		P50Inflation:  d.Inflation(0.50),
+		P99Inflation:  d.Inflation(0.99),
+		P999Inflation: d.Inflation(0.999),
+		LossRate:      metrics.LossRate(d.FaultedLost, attempted),
+		Retried:       int(d.FaultedRetried),
+		FaultDrops:    d.FaultDrops,
+	}
+	if d.Baseline != nil {
+		out.BaselineRequests = int(d.Baseline.Count())
+	}
+	if d.Faulted != nil {
+		out.FaultedRequests = int(d.Faulted.Count())
+	}
+	return out
+}
+
+// RunMemcachedObserved runs a memcached experiment with an Observation
+// attached: cluster-level gauges sample throughout, and (if tracing is on)
+// every request renders as an app-lane span. The returned Observation is
+// finished and ready for BuildManifest / WriteJSON.
+func RunMemcachedObserved(cfg MemcachedConfig, ocfg ObserveConfig) (*MemcachedResult, *Observation, error) {
+	var o *Observation
+	prevCluster := cfg.OnCluster
+	cfg.OnCluster = func(c *Cluster) {
+		if prevCluster != nil {
+			prevCluster(c)
+		}
+		o = Observe(c, ocfg)
+	}
+	prevSample := cfg.OnSample
+	cfg.OnSample = func(node packet.NodeID, s memcache.Sample) {
+		if prevSample != nil {
+			prevSample(node, s)
+		}
+		if o == nil || o.Trace == nil {
+			return
+		}
+		pid := 0
+		if o.cluster.pe != nil {
+			pid = o.cluster.Topo.RackOf(node)
+		}
+		tid := fmt.Sprintf("node%d app", node)
+		end := o.cluster.Machine(node).Now()
+		o.Trace.Span(pid, tid, "request", s.Op.String(), end.Add(-s.Latency), s.Latency)
+		if s.Retried {
+			o.Trace.Instant(pid, tid, "request", "retry", end)
+		}
+	}
+	res, err := RunMemcached(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.Finish()
+	return res, o, nil
+}
+
+// RunIncastObserved is RunMemcachedObserved's incast counterpart: iteration
+// spans land on the client's app lane.
+func RunIncastObserved(cfg IncastConfig, ocfg ObserveConfig) (incast.Result, *Observation, error) {
+	var o *Observation
+	prevCluster := cfg.OnCluster
+	cfg.OnCluster = func(c *Cluster) {
+		if prevCluster != nil {
+			prevCluster(c)
+		}
+		o = Observe(c, ocfg)
+	}
+	prevIter := cfg.OnIteration
+	cfg.OnIteration = func(iter int, start, end sim.Time) {
+		if prevIter != nil {
+			prevIter(iter, start, end)
+		}
+		if o != nil {
+			o.Trace.Span(0, "node0 app", "iteration", fmt.Sprintf("iteration %d", iter), start, end.Sub(start))
+		}
+	}
+	res, err := RunIncast(cfg)
+	if err != nil {
+		return incast.Result{}, nil, err
+	}
+	o.Finish()
+	return res, o, nil
+}

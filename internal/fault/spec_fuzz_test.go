@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary strings through the command-line fault
+// grammar. The parser must never panic, and every spec it accepts must
+// produce a plan that passes Validate and renders via String without
+// panicking — the same path `-faults` input takes in the CLIs.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("torflap rack=0 at=200ms dur=300ms")
+	f.Add("tordegrade rack=3 at=1s dur=0 loss=0.25 lat=50us")
+	f.Add("edgeflap node=7 at=0 dur=1s dir=up")
+	f.Add("edgedegrade node=2 at=10ms dur=20ms loss=0.5 dir=both")
+	f.Add("switchfail level=array index=1 at=5ms dur=5ms")
+	f.Add("portdegrade level=tor index=0 port=3 at=1ms dur=2ms drop=0.1 corrupt=0.01")
+	f.Add("nicstall node=4 at=100us dur=400us")
+	f.Add("straggle node=9 at=0 dur=1s factor=4")
+	f.Add("torflap rack=0 at=1ms dur=1ms; straggle node=1 at=0 dur=0 factor=2")
+	f.Add("")
+	f.Add(";;;")
+	f.Add("torflap rack=0 rack=1 at=0 dur=0")
+	f.Add("bogus key=value")
+	f.Add("torflap rack=-5 at=0 dur=0")
+	f.Add("tordegrade rack=0 at=0 dur=0 loss=1e309")
+	f.Add("torflap rack=0 at=-1ms dur=0")
+	f.Add("torflap rack=0 at=99999999h dur=0")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(42, spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("non-nil plan alongside error %v", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil plan without error")
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", spec, verr)
+		}
+		// Accepted clauses must all have landed as actions; String must not
+		// panic on whatever the parser built.
+		clauses := 0
+		for _, c := range strings.Split(spec, ";") {
+			if strings.TrimSpace(c) != "" {
+				clauses++
+			}
+		}
+		if len(p.Actions) != clauses {
+			t.Fatalf("spec %q: %d clauses but %d actions", spec, clauses, len(p.Actions))
+		}
+		_ = p.String()
+	})
+}

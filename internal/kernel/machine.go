@@ -73,8 +73,34 @@ func (c *Config) Validate() error {
 
 // kwork is one unit of kernel-context CPU work.
 type kwork struct {
-	d  sim.Duration
-	fn func()
+	kind KernelSpanKind
+	d    sim.Duration
+	fn   func()
+}
+
+// KernelSpanKind classifies kernel-context CPU work for observability
+// (Chrome-trace kernel lanes). It does not influence scheduling.
+type KernelSpanKind uint8
+
+const (
+	KSpanOther   KernelSpanKind = iota // uncategorized kernel work
+	KSpanIRQ                           // hardware interrupt entry
+	KSpanSoftIRQ                       // NAPI poll / protocol receive processing
+	KSpanTxTCP                         // TCP segment transmit processing
+)
+
+// String returns the trace label for the span kind.
+func (k KernelSpanKind) String() string {
+	switch k {
+	case KSpanIRQ:
+		return "irq"
+	case KSpanSoftIRQ:
+		return "softirq"
+	case KSpanTxTCP:
+		return "tcp_tx"
+	default:
+		return "kernel"
+	}
 }
 
 // MachineStats aggregates per-server counters.
@@ -127,6 +153,19 @@ type Machine struct {
 	Util      cpu.Util
 	Stats     MachineStats
 	tcpClosed tcpStatsTotal
+
+	// Observability hooks (internal/obs). All are optional; every call site
+	// guards with a nil check so a detached machine pays one pointer test.
+	// Hooks run in this machine's event context and must not mutate model
+	// state.
+
+	// OnKernelSpan fires when a kernel-context work item starts executing on
+	// the CPU, with its classification and duration.
+	OnKernelSpan func(kind KernelSpanKind, start sim.Time, d sim.Duration)
+	// OnSyscallSpan fires after a thread's syscall CPU charge completes.
+	OnSyscallSpan func(thread string, start sim.Time, d sim.Duration)
+	// OnPacketDelivered fires when a received packet reaches socket demux.
+	OnPacketDelivered func(pkt *packet.Packet, at sim.Time)
 }
 
 // tcpStatsTotal accumulates protocol stats of closed connections.
@@ -238,8 +277,8 @@ func (m *Machine) copyCost(n int) sim.Duration {
 // kernelWork queues non-preemptible kernel-context CPU work (interrupt and
 // softirq handling, protocol processing). Kernel work has priority over user
 // threads: a running user chunk is paused until the kernel queue drains.
-func (m *Machine) kernelWork(d sim.Duration, fn func()) {
-	m.kq = append(m.kq, kwork{d: d, fn: fn})
+func (m *Machine) kernelWork(kind KernelSpanKind, d sim.Duration, fn func()) {
+	m.kq = append(m.kq, kwork{kind: kind, d: d, fn: fn})
 	m.scheduleCPU()
 }
 
@@ -259,6 +298,9 @@ func (m *Machine) scheduleCPU() {
 		m.kq = m.kq[1:]
 		m.kActive = true
 		m.Util.Charge(w.d)
+		if m.OnKernelSpan != nil {
+			m.OnKernelSpan(w.kind, m.eng.Now(), w.d)
+		}
 		m.eng.After(w.d, func() {
 			m.kActive = false
 			if w.fn != nil {
@@ -389,7 +431,7 @@ func (m *Machine) drainQdisc() {
 func (m *Machine) rxInterrupt() {
 	m.Stats.Interrupts++
 	m.dev.SetRxIntEnabled(false)
-	m.kernelWork(m.instrTime(m.cfg.Profile.IRQInstr), m.napiPoll)
+	m.kernelWork(KSpanIRQ, m.instrTime(m.cfg.Profile.IRQInstr), m.napiPoll)
 }
 
 // napiPoll processes one frame per kernel-work item until the ring drains,
@@ -407,7 +449,7 @@ func (m *Machine) napiPoll() {
 	default:
 		cost = m.instrTime(m.cfg.Profile.RxUDPInstr)
 	}
-	m.kernelWork(cost, func() {
+	m.kernelWork(KSpanSoftIRQ, cost, func() {
 		m.deliver(pkt)
 		m.napiPoll()
 	})
@@ -415,6 +457,9 @@ func (m *Machine) napiPoll() {
 
 // deliver demultiplexes a received packet to its socket.
 func (m *Machine) deliver(pkt *packet.Packet) {
+	if m.OnPacketDelivered != nil {
+		m.OnPacketDelivered(pkt, m.eng.Now())
+	}
 	switch pkt.Proto {
 	case packet.ProtoUDP:
 		m.deliverUDP(pkt)
@@ -450,7 +495,7 @@ func (m *Machine) deliverTCP(pkt *packet.Packet) {
 				Ack:   pkt.TCP.Seq + uint32(pkt.PayloadBytes),
 			},
 		}
-		m.kernelWork(m.instrTime(m.cfg.Profile.TxTCPInstr/2), func() { m.transmit(rst) })
+		m.kernelWork(KSpanTxTCP, m.instrTime(m.cfg.Profile.TxTCPInstr/2), func() { m.transmit(rst) })
 	}
 }
 
@@ -482,8 +527,17 @@ func (e tcpEnv) Cancel(id sim.EventID)                { e.m.eng.Cancel(id) }
 // the segment to the driver. FIFO kernel work keeps segments ordered.
 func (e tcpEnv) Output(pkt *packet.Packet) {
 	m := e.m
-	m.kernelWork(m.instrTime(m.cfg.Profile.TxTCPInstr), func() { m.transmit(pkt) })
+	m.kernelWork(KSpanTxTCP, m.instrTime(m.cfg.Profile.TxTCPInstr), func() { m.transmit(pkt) })
 }
+
+// RunQueueLen returns the number of runnable threads waiting for the CPU
+// (excluding the one currently holding it). Observability accessor; call
+// from this machine's event context.
+func (m *Machine) RunQueueLen() int { return len(m.runq) }
+
+// QdiscQueued returns the number of packets queued between the stack and the
+// NIC ring. Observability accessor; call from this machine's event context.
+func (m *Machine) QdiscQueued() int { return len(m.qdisc) }
 
 // Shutdown kills every thread on the machine (used by experiment teardown to
 // release goroutines). The engine must not be running.

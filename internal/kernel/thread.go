@@ -129,6 +129,12 @@ func (t *Thread) computeTime(d sim.Duration) {
 // syscall charges the base syscall cost plus extra instructions.
 func (t *Thread) syscall(extra int64) {
 	t.m.Stats.Syscalls++
+	if t.m.OnSyscallSpan != nil {
+		start := t.Now()
+		t.Compute(t.m.cfg.Profile.SyscallInstr + extra)
+		t.m.OnSyscallSpan(t.name, start, t.Now().Sub(start))
+		return
+	}
 	t.Compute(t.m.cfg.Profile.SyscallInstr + extra)
 }
 

@@ -210,6 +210,9 @@ func (n *NIC) PopRx() *packet.Packet {
 // RxPending returns the number of frames waiting in the RX ring.
 func (n *NIC) RxPending() int { return len(n.rxq) }
 
+// TxPending returns the number of frames occupying TX descriptors.
+func (n *NIC) TxPending() int { return len(n.txq) }
+
 // SetRxIntEnabled controls RX interrupt delivery (NAPI disables interrupts
 // while polling). Re-enabling checks for frames that arrived while polling.
 func (n *NIC) SetRxIntEnabled(on bool) {

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"diablo/internal/sim"
+)
+
+func TestRegistrySamplesOnSimTimeGrid(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry(10 * sim.Microsecond)
+	c := r.Counter(eng, "a/count")
+	g := r.Gauge(eng, "a/gauge")
+	v := 0.0
+	r.GaugeFunc(eng, "a/pull", func() float64 { return v })
+	r.Start()
+
+	eng.At(sim.Time(5*sim.Microsecond), func() { c.Inc(); g.Set(7); v = 3 })
+	eng.At(sim.Time(15*sim.Microsecond), func() { c.Add(2) })
+	eng.RunUntil(sim.Time(30 * sim.Microsecond))
+	r.Stop()
+
+	series := r.Series()
+	if len(series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(series))
+	}
+	// Sorted by name.
+	for i, name := range []string{"a/count", "a/gauge", "a/pull"} {
+		if series[i].Name != name {
+			t.Fatalf("series[%d].Name=%q, want %q", i, series[i].Name, name)
+		}
+	}
+	count := series[0]
+	// Ticks at 0, 10, 20, 30 µs.
+	if len(count.Samples) != 4 {
+		t.Fatalf("want 4 samples, got %d: %+v", len(count.Samples), count.Samples)
+	}
+	wantAt := []sim.Time{0, sim.Time(10 * sim.Microsecond), sim.Time(20 * sim.Microsecond), sim.Time(30 * sim.Microsecond)}
+	wantVal := []float64{0, 1, 3, 3}
+	for i, s := range count.Samples {
+		if s.At != wantAt[i] || s.Value != wantVal[i] {
+			t.Fatalf("sample %d = %+v, want at=%v value=%v", i, s, wantAt[i], wantVal[i])
+		}
+	}
+	if got := series[1].Samples[1].Value; got != 7 {
+		t.Fatalf("gauge at 10µs = %v, want 7", got)
+	}
+	if got := series[2].Samples[1].Value; got != 3 {
+		t.Fatalf("pull gauge at 10µs = %v, want 3", got)
+	}
+}
+
+func TestRegistryStopEndsTicks(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry(sim.Microsecond)
+	r.Counter(eng, "x")
+	r.Start()
+	eng.RunUntil(sim.Time(3 * sim.Microsecond))
+	r.Stop()
+	// The already-scheduled tick fires as a no-op; no further samples.
+	eng.RunUntil(sim.Time(10 * sim.Microsecond))
+	if n := len(r.Series()[0].Samples); n != 4 {
+		t.Fatalf("samples after Stop: %d, want 4 (ticks 0..3µs)", n)
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	h.Record(sim.Microsecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Name() != "" || h.Snapshot() != nil {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry(10 * sim.Microsecond)
+	h := r.Histogram(eng, "lat")
+	r.Start()
+	eng.At(sim.Time(2*sim.Microsecond), func() {
+		h.Record(5 * sim.Microsecond)
+		h.Record(7 * sim.Microsecond)
+	})
+	eng.RunUntil(sim.Time(10 * sim.Microsecond))
+	r.Stop()
+	hs := r.Histograms()
+	if len(hs) != 1 || hs[0].Name() != "lat" {
+		t.Fatalf("Histograms() = %+v", hs)
+	}
+	if got := hs[0].Snapshot().Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+	// The sampled series carries the cumulative count.
+	s := r.Series()[0]
+	if s.Samples[0].Value != 0 || s.Samples[1].Value != 2 {
+		t.Fatalf("sampled counts = %+v, want 0 then 2", s.Samples)
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry(0)
+	r.Counter(eng, "dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	r.Gauge(eng, "dup")
+}
+
+func TestRegistryRegisterAfterStartPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry(0)
+	r.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("register after Start did not panic")
+		}
+	}()
+	r.Counter(eng, "late")
+}
+
+func TestEncodeTextAndHashStable(t *testing.T) {
+	build := func() *Registry {
+		eng := sim.NewEngine()
+		r := NewRegistry(sim.Millisecond)
+		c := r.Counter(eng, "z/count")
+		r.Gauge(eng, "a/gauge")
+		r.Start()
+		eng.At(sim.Time(500*sim.Microsecond), func() { c.Add(1.5) })
+		eng.RunUntil(sim.Time(2 * sim.Millisecond))
+		r.Stop()
+		return r
+	}
+	var b1, b2 strings.Builder
+	r1, r2 := build(), build()
+	if err := r1.EncodeText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.EncodeText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("identical runs encode differently:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if r1.Hash() != r2.Hash() {
+		t.Fatalf("hash differs: %s vs %s", r1.Hash(), r2.Hash())
+	}
+	if !strings.HasPrefix(r1.Hash(), "fnv64a:") {
+		t.Fatalf("hash missing algorithm prefix: %s", r1.Hash())
+	}
+	// Name-sorted: a/gauge before z/count despite registration order.
+	txt := b1.String()
+	if strings.Index(txt, "series a/gauge") > strings.Index(txt, "series z/count") {
+		t.Fatalf("series not name-sorted:\n%s", txt)
+	}
+	if !strings.Contains(txt, "1.5") {
+		t.Fatalf("counter value missing from encoding:\n%s", txt)
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	if got := NewRegistry(0).Interval(); got != DefaultSampleEvery {
+		t.Fatalf("Interval() = %v, want %v", got, DefaultSampleEvery)
+	}
+	if got := NewRegistry(-5).Interval(); got != DefaultSampleEvery {
+		t.Fatalf("Interval() = %v, want %v", got, DefaultSampleEvery)
+	}
+}

@@ -24,6 +24,14 @@ type phaser struct {
 	gen  atomic.Uint64
 	mu   sync.Mutex
 	cond sync.Cond
+
+	// counting enables the wake-path diagnostics below (engine
+	// introspection). The counters record how each await resolved — within
+	// the spin budget or after a full park — which is a property of OS
+	// scheduling, not of the model; see sim.BarrierStats.
+	counting  bool
+	spinWakes atomic.Uint64
+	parkWakes atomic.Uint64
 }
 
 const (
@@ -58,6 +66,9 @@ func (p *phaser) advance() {
 func (p *phaser) await(last uint64) uint64 {
 	for i := 0; i < barrierActiveSpins+barrierYieldSpins; i++ {
 		if g := p.gen.Load(); g != last {
+			if p.counting {
+				p.spinWakes.Add(1)
+			}
 			return g
 		}
 		if i >= barrierActiveSpins {
@@ -70,5 +81,8 @@ func (p *phaser) await(last uint64) uint64 {
 	}
 	g := p.gen.Load()
 	p.mu.Unlock()
+	if p.counting {
+		p.parkWakes.Add(1)
+	}
 	return g
 }

@@ -50,6 +50,11 @@ type ParallelEngine struct {
 	// pending is the reusable barrier-exchange merge buffer.
 	pending []xmsg
 
+	// intro, when non-nil, collects per-quantum introspection (see
+	// EnableIntrospection). nil keeps the hot path at one pointer test per
+	// quantum.
+	intro *engineIntro
+
 	// Executed sums dispatched events across partitions after each run.
 	Executed uint64
 }
@@ -211,8 +216,17 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 	pe.stop.Store(false)
 	var pool *workerPool
 	if pe.workers > 1 {
-		pool = newWorkerPool(pe.parts, pe.workers)
+		pool = newWorkerPool(pe.parts, pe.workers, pe.intro != nil)
 		defer pool.close()
+		if pe.intro != nil {
+			// Collect barrier diagnostics before close releases the workers
+			// (LIFO: this defer runs first). Wakes from the final release are
+			// deliberately uncounted; these are best-effort diagnostics.
+			defer func() {
+				pe.intro.barrier.SpinWakes += pool.start.spinWakes.Load() + pool.done.spinWakes.Load()
+				pe.intro.barrier.ParkWakes += pool.start.parkWakes.Load() + pool.done.parkWakes.Load()
+			}()
+		}
 	}
 
 	// Prime the earliest-event cache once; from here on it is maintained
@@ -255,6 +269,9 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 			}
 		}
 		pe.now = qEnd
+		if pe.intro != nil {
+			pe.intro.note(pe.parts)
+		}
 
 		// Exchange cross-partition messages deterministically: merge in
 		// (time, source partition, send sequence) order, a total order that
@@ -364,13 +381,15 @@ type workerPool struct {
 	mins     []workerMin
 }
 
-func newWorkerPool(parts []*Partition, workers int) *workerPool {
+func newWorkerPool(parts []*Partition, workers int, counting bool) *workerPool {
 	pool := &workerPool{
 		start:   newPhaser(),
 		done:    newPhaser(),
 		workers: int32(workers),
 		mins:    make([]workerMin, workers),
 	}
+	pool.start.counting = counting
+	pool.done.counting = counting
 	n := len(parts)
 	// Capture the start generation before any worker launches: a worker that
 	// first reads the gate after the opening advance would wait one

@@ -368,6 +368,19 @@ func (s *Switch) dispatch(op *outPort) {
 // Occupied returns the currently buffered bytes across the switch.
 func (s *Switch) Occupied() int { return s.occupied }
 
+// PortQueueDepth returns the number of packets waiting on output port i.
+// Observability accessor; call from the switch's event context.
+func (s *Switch) PortQueueDepth(i int) int { return s.out[i].queued }
+
+// QueuedPackets returns the total packets waiting across all output ports.
+func (s *Switch) QueuedPackets() int {
+	total := 0
+	for i := range s.out {
+		total += s.out[i].queued
+	}
+	return total
+}
+
 // String identifies the switch in traces.
 func (s *Switch) String() string {
 	return fmt.Sprintf("switch(%s,%d ports,%v)", s.params.Name, s.params.Ports, s.params.Arch)
