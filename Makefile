@@ -71,7 +71,8 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
 # Machine-readable performance trajectory: runs the §5 engine-comparison
-# probe, writes BENCH_results.json, and fails if sequential throughput
-# regresses >20% against the committed bench_baseline.json.
+# probe, writes BENCH_results.json plus a before/after BENCH_compare.json,
+# and fails if sequential throughput regresses >20% against the committed
+# bench_baseline.json or allocs/event rises more than the slack over it.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_results.json -baseline bench_baseline.json -events $(BENCH_EVENTS)

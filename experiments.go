@@ -433,10 +433,14 @@ func runPerf(o ExperimentOptions) (*ExperimentOutput, error) {
 		return nil, err
 	}
 	out := &ExperimentOutput{Tables: []*metrics.Table{core.PerfTable(points)}}
-	seq, par := core.EngineComparison(8, 100_000)
+	st := core.EngineComparisonMeasured(8, 100_000)
 	out.Notes = append(out.Notes, fmt.Sprintf(
 		"engine comparison (8 partitions): sequential %.2fM ev/s, quantum-barrier parallel %.2fM ev/s (%.1fx)",
-		seq/1e6, par/1e6, par/seq))
+		st.SeqEventsPerSec/1e6, st.ParEventsPerSec/1e6, st.Speedup()))
+	out.Notes = append(out.Notes, fmt.Sprintf(
+		"typed-event lane: %.2fM ev/s at %.3f allocs/ev vs capturing closures %.2fM ev/s at %.2f allocs/ev (%.2fx)",
+		st.TypedEventsPerSec/1e6, st.TypedAllocsPerEvent,
+		st.CaptureEventsPerSec/1e6, st.CaptureAllocsPerEvent, st.TypedSpeedup()))
 	if o.observing() {
 		cfg := core.DefaultMemcached()
 		cfg.Arrays = 1

@@ -1,0 +1,68 @@
+package analysis
+
+import "go/ast"
+
+// hotPathPrefixes lists the package subtrees whose per-packet event rates
+// dominate a run: every frame traverses a link, a virtual switch and two
+// NICs, so a closure scheduled there is an allocation on the hottest loop in
+// the simulator. These packages must schedule through the typed-event lane
+// (AtEvent/AfterEvent with a registered handler, see sim/event.go); the
+// closure lane remains fine everywhere else — kernel timers, TCP
+// retransmission, fault injection and other cold control paths.
+var hotPathPrefixes = []string{
+	"diablo/internal/link",
+	"diablo/internal/vswitch",
+	"diablo/internal/nic",
+}
+
+// IsHotPathPackage reports whether the package is held to the
+// typed-event-lane scheduling rule.
+func IsHotPathPackage(path string) bool {
+	for _, p := range hotPathPrefixes {
+		if hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Evlint enforces the Scheduler-API-v2 hot-path contract: packages on the
+// per-packet path (link, vswitch, nic) schedule through the typed-event lane,
+// not the allocating closure lane. A deliberate closure in a hot-path package
+// (a genuinely cold branch, e.g. one-time setup) is suppressed with
+//
+//	//simlint:allow evlint <reason>
+//
+// Test files are exempt: closures are the readable way to script a scenario,
+// and test allocations don't show up in a run's event rate.
+var Evlint = &Analyzer{
+	Name: "evlint",
+	Doc: "hot-path packages (link, vswitch, nic) schedule through the " +
+		"typed-event lane, not allocating closures",
+	Run: runEvlint,
+}
+
+func runEvlint(pass *Pass) error {
+	if !IsHotPathPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || pass.InTestFile(sel.Pos()) {
+				return true
+			}
+			if name, ok := simMethod(pass.Info, sel); ok {
+				switch name {
+				case "At", "After":
+					pass.Reportf(sel.Pos(),
+						"closure scheduling (%s) in a hot-path package: use the typed-event "+
+							"lane (%sEvent with a jump-table handler) so per-packet scheduling "+
+							"stays allocation-free", name, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

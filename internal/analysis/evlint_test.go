@@ -1,0 +1,37 @@
+package analysis
+
+import "testing"
+
+// The fixture's import path puts it on the hot path (under
+// diablo/internal/link): At/After fire, the typed lane and the suppressed
+// cold closure stay silent, and the _test.go file is exempt.
+func TestEvlintFixture(t *testing.T) {
+	RunFixture(t, Evlint, "testdata/src/evlint", "diablo/internal/link/evfixture")
+}
+
+// The same rule is silent off the hot path: the cold fixture schedules
+// closures from a kernel-layer import path and must produce no findings.
+func TestEvlintColdPackageFixture(t *testing.T) {
+	RunFixture(t, Evlint, "testdata/src/evlint_cold", "diablo/internal/kernel/evfixture")
+}
+
+func TestIsHotPathPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"diablo/internal/link", true},
+		{"diablo/internal/vswitch", true},
+		{"diablo/internal/nic", true},
+		{"diablo/internal/nic/sub", true},
+		{"diablo/internal/nicotine", false}, // prefix match is by path segment
+		{"diablo/internal/kernel", false},
+		{"diablo/internal/sim", false},
+		{"diablo/cmd/diablo-mc", false},
+	}
+	for _, c := range cases {
+		if got := IsHotPathPackage(c.path); got != c.want {
+			t.Errorf("IsHotPathPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises evlint in a hot-path package (the synthetic
+// import path places it under diablo/internal/link): closure scheduling is
+// banned; the typed-event lane and everything else on the Scheduler surface
+// is fine.
+package fixture
+
+import "diablo/internal/sim"
+
+type port struct {
+	sched sim.Scheduler
+}
+
+// The closure lane fires in both spellings.
+func (p *port) deliverLater(at sim.Time, fn func()) sim.EventID {
+	return p.sched.At(at, fn) // want `closure scheduling \(At\) in a hot-path package`
+}
+
+func (p *port) armTimeout(d sim.Duration, fn func()) sim.EventID {
+	return p.sched.After(d, fn) // want `closure scheduling \(After\) in a hot-path package`
+}
+
+// The typed-event lane is exactly what hot-path code is supposed to use.
+func (p *port) deliverTyped(at sim.Time, ev sim.Event) sim.EventID {
+	return p.sched.AtEvent(at, ev)
+}
+
+func (p *port) armTyped(d sim.Duration, ev sim.Event) sim.EventID {
+	return p.sched.AfterEvent(d, ev)
+}
+
+// The rest of the Scheduler surface is untouched by the rule.
+func (p *port) housekeeping(id sim.EventID) sim.Time {
+	p.sched.Cancel(id)
+	return p.sched.Now()
+}
+
+// A deliberately cold closure is suppressed with a reason.
+func (p *port) oneTimeSetup(fn func()) {
+	p.sched.After(10*sim.Microsecond, fn) //simlint:allow evlint fixture: one-time setup, not per-packet
+}

@@ -1,0 +1,19 @@
+// Package fixture proves evlint's scoping: the synthetic import path places
+// this file under diablo/internal/kernel — a model package, but not on the
+// per-packet hot path — so closure scheduling here is legitimate and nothing
+// may be reported.
+package fixture
+
+import "diablo/internal/sim"
+
+type timerWheel struct {
+	sched sim.Scheduler
+}
+
+func (w *timerWheel) arm(d sim.Duration, fn func()) sim.EventID {
+	return w.sched.After(d, fn)
+}
+
+func (w *timerWheel) armAt(at sim.Time, fn func()) sim.EventID {
+	return w.sched.At(at, fn)
+}

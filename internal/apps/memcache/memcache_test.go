@@ -83,6 +83,7 @@ type rig struct {
 func newRig(t *testing.T) *rig {
 	t.Helper()
 	eng := sim.NewEngine()
+	kernel.RegisterEventHandlers(eng)
 	topo, err := topology.SingleRack(2)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"diablo/internal/fault"
@@ -100,6 +101,10 @@ type Cluster struct {
 	eng     sim.Runner          // single-rack serial path
 	pe      *sim.ParallelEngine // multi-rack partitioned path
 	quantum sim.Duration        // barrier quantum (0 on the serial path)
+	// haltQuantum quantizes Halt on a multi-rack model collapsed onto the
+	// sequential engine, emulating the partitioned engine's halt-at-barrier
+	// semantics (0 when not collapsed).
+	haltQuantum sim.Duration
 
 	// Fault-layer state: edges fire on worker goroutines in a partitioned
 	// run, so recording is mutex-guarded; FaultEdges sorts before returning.
@@ -111,25 +116,37 @@ type Cluster struct {
 type Option func(*options)
 
 type options struct {
-	workers int
-	quantum sim.Duration
-	faults  *fault.Plan
+	workers    int
+	sequential bool
+	quantum    sim.Duration
+	faults     *fault.Plan
 }
 
-// WithPartitions sets how many OS-level workers execute the cluster's
-// partitions in parallel (clamped to the partition count; default 1). The
-// partition layout itself is fixed by the topology — one partition per rack
-// plus the aggregation fabric — so this knob changes wall-clock speed only,
-// never simulation results. It has no effect on single-rack clusters, which
-// run on the sequential engine.
+// WithPartitions forces the partitioned engine with n OS-level workers
+// (clamped to the partition count). The partition layout itself is fixed by
+// the topology — one partition per rack plus the aggregation fabric — and
+// neither engine choice nor worker count may affect simulation results, so
+// this knob changes wall-clock speed only. n <= 0 (the default) selects
+// automatically: see PlanEngine. It has no effect on single-rack clusters,
+// which always run on the sequential engine.
 func WithPartitions(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithSequentialEngine forces the whole model onto the sequential engine,
+// even for multi-rack topologies. Results are identical to the partitioned
+// engine's (the determinism gates assert this); useful for profiling the
+// pure event path and for pinning the engine-invariance contract in tests.
+func WithSequentialEngine() Option {
+	return func(o *options) { o.sequential = true }
 }
 
 // WithQuantum overrides the synchronization quantum. The default — the
 // minimum latency of any inter-partition link — is the largest safe value;
 // New rejects overrides above it (they would violate conservative
-// lookahead) or below 1 ps.
+// lookahead) or below 1 ps. The quantum is a partitioned-engine knob, so an
+// explicit override on a multi-rack model selects the partitioned engine
+// even where adaptive selection would collapse to sequential.
 func WithQuantum(d sim.Duration) Option {
 	return func(o *options) { o.quantum = d }
 }
@@ -156,11 +173,28 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 	// scheduler; cross(src, dst) schedules from partition src's event context
 	// onto partition dst (used for the delivery side of partition-crossing
 	// links). On the serial path both collapse to the one engine.
+	// Engine selection (see PlanEngine): the partition layout is fixed by the
+	// topology (one per rack plus the fabric), but whether those partitions
+	// run on the quantum-barrier engine or collapse onto the sequential one —
+	// and on how many workers — is adaptive, with the options as overrides.
+	// Either way the result is the same; only wall-clock speed differs.
+	partitions := 1
+	if multiRack {
+		partitions = topo.Racks() + 1
+	}
+	plan := PlanEngine(partitions, runtime.NumCPU(), c.opts.workers, c.opts.sequential)
+	if !plan.Parallel && partitions > 1 && !c.opts.sequential && c.opts.quantum != 0 {
+		// An explicit quantum override is a partitioned-engine knob: honor it
+		// (and its validation) rather than silently collapsing to sequential.
+		plan = EnginePlan{Parallel: true, Workers: 1}
+	}
+
 	var (
 		sched func(part int) sim.Scheduler
 		cross func(src, dst int) sim.Scheduler
+		reg   sim.HandlerRegistrar
 	)
-	if multiRack {
+	if plan.Parallel {
 		quantum, err := c.lookahead()
 		if err != nil {
 			return nil, err
@@ -175,8 +209,9 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 			quantum = c.opts.quantum
 		}
 		c.quantum = quantum
-		c.pe = sim.NewParallelEngine(topo.Racks()+1, quantum)
-		c.pe.SetWorkers(c.opts.workers)
+		c.pe = sim.NewParallelEngine(partitions, quantum)
+		c.pe.SetWorkers(plan.Workers)
+		reg = c.pe
 		sched = func(part int) sim.Scheduler { return c.pe.Partition(part) }
 		cross = func(src, dst int) sim.Scheduler {
 			if src == dst {
@@ -185,10 +220,30 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 			return c.pe.Cross(src, dst)
 		}
 	} else {
-		c.eng = sim.NewEngine()
+		eng := sim.NewEngine()
+		c.eng = eng
+		reg = eng
 		sched = func(int) sim.Scheduler { return c.eng }
 		cross = func(int, int) sim.Scheduler { return c.eng }
+		if multiRack {
+			// A collapsed multi-rack model still honors the barrier grid when
+			// halting (see Cluster.Halt): the partitioned engine always
+			// completes the quantum in progress, so the sequential engine must
+			// stop at the same grid point or engine selection would leak into
+			// the run length and the event tail.
+			q, err := c.lookahead()
+			if err != nil {
+				return nil, err
+			}
+			c.haltQuantum = q
+		}
 	}
+
+	// Register the model packages' typed-event jump table before any
+	// component schedules (kernel cascades to nic and link; vswitch to link).
+	kernel.RegisterEventHandlers(reg)
+	vswitch.RegisterEventHandlers(reg)
+
 	fabric := topo.Racks() // partition holding array + DC switches
 
 	// Build switches.
@@ -402,11 +457,21 @@ func (c *Cluster) Run() {
 	c.eng.Run()
 }
 
-// Halt stops the run: immediately on the serial path, at the next quantum
-// barrier on the parallel path (safe from any machine's event context).
+// Halt stops the run at the next quantum barrier on the parallel path (safe
+// from any machine's event context), and immediately on a genuinely
+// single-rack serial run. A multi-rack model collapsed onto the sequential
+// engine halts at the same barrier-grid point the partitioned engine would —
+// every event up to that barrier still runs — so the halt instant, the event
+// count and the observation tail are identical on both engines.
 func (c *Cluster) Halt() {
 	if c.pe != nil {
 		c.pe.Halt()
+		return
+	}
+	if c.haltQuantum > 0 {
+		q := sim.Time(c.haltQuantum)
+		now := c.eng.Now()
+		c.eng.(*sim.Engine).HaltAt((now + q - 1) / q * q)
 		return
 	}
 	c.eng.Halt()

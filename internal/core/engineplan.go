@@ -1,0 +1,59 @@
+package core
+
+// Adaptive engine selection. Earlier versions hard-wired the engine choice
+// to the topology (multi-rack => partitioned engine) and took the worker
+// count from a flag that defaulted to 1 — which on the single-vCPU CI box
+// meant paying the quantum-barrier machinery for a 0.8x "speedup"
+// (BENCH_results.json), and on a many-core box meant leaving all but one
+// core idle unless the caller remembered the flag. core.New now picks both
+// from the machine and the model, and the flags become overrides.
+//
+// The selection is safe because engine choice, like worker count, is not
+// allowed to be observable: the determinism gates assert byte-identical
+// results for the sequential and partitioned engines at any worker count
+// (TestEngineSelectionResultInvariance, TestMemcachedReplayAcrossWorkerCounts).
+
+// EnginePlan is the outcome of engine selection for one cluster.
+type EnginePlan struct {
+	// Parallel selects the quantum-barrier partitioned engine; false runs
+	// the whole model on the sequential engine.
+	Parallel bool
+	// Workers is the OS-level worker count for the partitioned engine
+	// (0 when Parallel is false).
+	Workers int
+}
+
+// PlanEngine picks the engine and worker count for a model with the given
+// partition count on a machine with numCPU processors.
+//
+//   - A single-partition model always runs sequentially.
+//   - forceSequential (the WithSequentialEngine option) collapses any model
+//     onto the sequential engine.
+//   - workersOverride > 0 (the WithPartitions option / -partitions flag)
+//     forces the partitioned engine with that many workers (clamped to the
+//     partition count).
+//   - Otherwise the choice is automatic: on a single-CPU machine the
+//     partitioned engine cannot win (the barrier costs, measured at 0.8x of
+//     sequential on the CI box), so the model collapses onto the sequential
+//     engine; with more CPUs the partitioned engine runs with
+//     min(numCPU, partitions) workers.
+func PlanEngine(partitions, numCPU, workersOverride int, forceSequential bool) EnginePlan {
+	if partitions <= 1 || forceSequential {
+		return EnginePlan{}
+	}
+	if workersOverride > 0 {
+		w := workersOverride
+		if w > partitions {
+			w = partitions
+		}
+		return EnginePlan{Parallel: true, Workers: w}
+	}
+	if numCPU <= 1 {
+		return EnginePlan{}
+	}
+	w := numCPU
+	if w > partitions {
+		w = partitions
+	}
+	return EnginePlan{Parallel: true, Workers: w}
+}

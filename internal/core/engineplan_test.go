@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diablo/internal/sim"
+)
+
+// TestPlanEnginePolicy pins the selection table: topology and overrides
+// first, then the machine.
+func TestPlanEnginePolicy(t *testing.T) {
+	cases := []struct {
+		name                       string
+		partitions, cpus, override int
+		forceSeq                   bool
+		want                       EnginePlan
+	}{
+		{"single partition stays sequential", 1, 64, 0, false, EnginePlan{}},
+		{"single partition ignores override", 1, 64, 8, false, EnginePlan{}},
+		{"force sequential wins over many cores", 17, 64, 0, true, EnginePlan{}},
+		{"force sequential wins over override", 17, 64, 8, true, EnginePlan{}},
+		{"override forces parallel on one cpu", 17, 1, 4, false, EnginePlan{Parallel: true, Workers: 4}},
+		{"override clamped to partitions", 3, 64, 8, false, EnginePlan{Parallel: true, Workers: 3}},
+		{"auto collapses on one cpu", 17, 1, 0, false, EnginePlan{}},
+		{"auto picks numcpu workers", 17, 8, 0, false, EnginePlan{Parallel: true, Workers: 8}},
+		{"auto clamped to partitions", 3, 8, 0, false, EnginePlan{Parallel: true, Workers: 3}},
+		{"zero cpus treated as one", 17, 0, 0, false, EnginePlan{}},
+	}
+	for _, c := range cases {
+		if got := PlanEngine(c.partitions, c.cpus, c.override, c.forceSeq); got != c.want {
+			t.Errorf("%s: PlanEngine(%d, %d, %d, %v) = %+v, want %+v",
+				c.name, c.partitions, c.cpus, c.override, c.forceSeq, got, c.want)
+		}
+	}
+}
+
+// TestEngineSelectionResultInvariance is the determinism gate for adaptive
+// engine selection: the same multi-rack model run (a) forced onto the
+// sequential engine, (b) forced onto the partitioned engine, and (c) under
+// adaptive selection must produce byte-identical manifests once the
+// engine-execution namespace is normalized away. That namespace is exactly:
+// the topology fields (workers, partitions, quantum), the engine balance
+// block, the executed-event count (the engines schedule their own sampling
+// and barrier machinery), the partition*/... introspection series, and the
+// stats hash (a digest that covers those series). Everything else — every
+// model-owned series, histogram, fault edge and the elapsed clock — describes
+// what the model did and must not depend on the engine.
+func TestEngineSelectionResultInvariance(t *testing.T) {
+	ocfg := ObserveConfig{SampleEvery: 2 * sim.Millisecond, TraceEvents: -1}
+	manifest := func(name string, mut func(*MemcachedConfig)) []byte {
+		cfg := observedMemcached()
+		cfg.Partitions = 0
+		mut(&cfg)
+		_, o, err := RunMemcachedObserved(cfg, ocfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := o.BuildManifest("engine-invariance", cfg.Seed, nil)
+		// Normalize the engine-execution namespace; see the test comment.
+		m.Workers = 0
+		m.Partitions = 0
+		m.QuantumPs = 0
+		m.Engine = nil
+		m.Events = 0
+		m.StatsHash = ""
+		kept := m.Series[:0]
+		for _, s := range m.Series {
+			if !strings.HasPrefix(s.Name, "partition") {
+				kept = append(kept, s)
+			}
+		}
+		m.Series = kept
+		if len(m.Series) == 0 {
+			t.Fatalf("%s: no model-owned series left to compare", name)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return buf.Bytes()
+	}
+	seq := manifest("sequential", func(c *MemcachedConfig) { c.Sequential = true })
+	for _, v := range []struct {
+		name string
+		mut  func(*MemcachedConfig)
+	}{
+		{"parallel-1", func(c *MemcachedConfig) { c.Partitions = 1 }},
+		{"parallel-2", func(c *MemcachedConfig) { c.Partitions = 2 }},
+		{"adaptive", func(c *MemcachedConfig) {}},
+	} {
+		got := manifest(v.name, v.mut)
+		if !bytes.Equal(got, seq) {
+			i := 0
+			for i < len(got) && i < len(seq) && got[i] == seq[i] {
+				i++
+			}
+			lo := max(0, i-80)
+			t.Errorf("%s manifest diverges from sequential near byte %d:\nseq: %q\n%s: %q",
+				v.name, i, seq[lo:min(i+80, len(seq))], v.name, got[lo:min(i+80, len(got))])
+		}
+	}
+}

@@ -59,9 +59,14 @@ type MemcachedConfig struct {
 	// (<0 disables mitigation, 0 keeps the e1000 default). An ablation knob.
 	NICRxITR sim.Duration
 	// Partitions sets the number of OS-level workers executing the
-	// partitioned cluster in parallel (0 or 1 = single-threaded). Results
-	// are identical at any worker count; see core.WithPartitions.
+	// partitioned cluster in parallel (0 = adaptive engine selection, see
+	// core.PlanEngine). Results are identical at any worker count and on
+	// either engine; see core.WithPartitions.
 	Partitions int
+	// Sequential forces the whole model onto the sequential engine (see
+	// core.WithSequentialEngine). Results are identical either way; the knob
+	// exists for engine A/B measurement and the invariance gates.
+	Sequential bool
 	// Seed is the master seed.
 	Seed uint64
 	// Deadline bounds simulated time (0 = auto-estimated).
@@ -176,7 +181,11 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 		mutate(&cc)
 	}
 
-	cluster, err := New(cc, WithPartitions(cfg.Partitions), WithFaults(cfg.Faults))
+	copts := []Option{WithPartitions(cfg.Partitions), WithFaults(cfg.Faults)}
+	if cfg.Sequential {
+		copts = append(copts, WithSequentialEngine())
+	}
+	cluster, err := New(cc, copts...)
 	if err != nil {
 		return nil, err
 	}

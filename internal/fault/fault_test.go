@@ -184,6 +184,7 @@ func (b *testBinder) MachineOf(node int) (Slower, sim.Scheduler, error) {
 func newTestBinder(t *testing.T) *testBinder {
 	t.Helper()
 	eng := sim.NewEngine()
+	vswitch.RegisterEventHandlers(eng)
 	sw, err := vswitch.New(eng, vswitch.Gigabit1GShallow("sw", 2))
 	if err != nil {
 		t.Fatal(err)

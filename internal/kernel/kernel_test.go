@@ -23,6 +23,7 @@ type rig struct {
 func newRig(t *testing.T, cfg Config) *rig {
 	t.Helper()
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	topo, err := topology.SingleRack(2)
 	if err != nil {
 		t.Fatal(err)

@@ -130,6 +130,7 @@ type Machine struct {
 	// CPU executor state.
 	kq         []kwork
 	kActive    bool
+	kRun       kwork   // the kernel work item executing (valid while kActive)
 	cur        *Thread // thread owning the CPU (may be paused by kernel work)
 	chunkEvent sim.EventID
 	chunkArmed bool
@@ -297,17 +298,15 @@ func (m *Machine) scheduleCPU() {
 		w := m.kq[0]
 		m.kq = m.kq[1:]
 		m.kActive = true
+		m.kRun = w
 		m.Util.Charge(w.d)
 		if m.OnKernelSpan != nil {
 			m.OnKernelSpan(w.kind, m.eng.Now(), w.d)
 		}
-		m.eng.After(w.d, func() {
-			m.kActive = false
-			if w.fn != nil {
-				w.fn()
-			}
-			m.scheduleCPU()
-		})
+		// Typed event on the hottest kernel path (every packet costs an IRQ
+		// span, a softirq span and a TX span); the work item itself is parked
+		// in m.kRun rather than captured in a closure.
+		m.eng.AfterEvent(w.d, sim.Event{Kind: sim.EvKernelSpan, Tgt: m})
 		return
 	}
 	if m.chunkArmed {
@@ -343,7 +342,34 @@ func (m *Machine) scheduleCPU() {
 	m.chunkArmed = true
 	m.chunkStart = m.eng.Now()
 	m.chunkLen = chunk
-	m.chunkEvent = m.eng.After(chunk, m.chunkDone)
+	m.chunkEvent = m.eng.AfterEvent(chunk, sim.Event{Kind: sim.EvTimerTick, Tgt: m})
+}
+
+// kernelSpanDone completes the executing kernel work item (the EvKernelSpan
+// handler): the continuation runs with the CPU released, exactly as the old
+// per-item closure did.
+func (m *Machine) kernelSpanDone() {
+	w := m.kRun
+	m.kRun = kwork{} // release the continuation closure
+	m.kActive = false
+	if w.fn != nil {
+		w.fn()
+	}
+	m.scheduleCPU()
+}
+
+// RegisterEventHandlers installs this package's typed-event handlers on r
+// (cascading to the NIC and link packages', which every machine depends on).
+// core.New registers all model packages at wiring time; tests that drive an
+// engine directly must call this before running machines.
+func RegisterEventHandlers(r sim.HandlerRegistrar) {
+	nic.RegisterEventHandlers(r)
+	r.RegisterHandler(sim.EvKernelSpan, func(_ sim.Time, ev sim.Event) {
+		ev.Tgt.(*Machine).kernelSpanDone()
+	})
+	r.RegisterHandler(sim.EvTimerTick, func(_ sim.Time, ev sim.Event) {
+		ev.Tgt.(*Machine).chunkDone()
+	})
 }
 
 func (m *Machine) chunkDone() {

@@ -182,9 +182,20 @@ func (l *Link) SendFrom(earliest sim.Time, pkt *packet.Packet) (txDone sim.Time)
 	if deliver < now {
 		deliver = now
 	}
-	dst := l.dst
-	l.deliver.At(deliver, func() { dst.Receive(pkt) })
+	// Typed-event lane (zero-allocation): the EvPacketHop handler reads
+	// l.dst at fire time. dst is set at wiring and immutable during a run,
+	// so this matches the old capture-at-send closure exactly.
+	l.deliver.AtEvent(deliver, sim.Event{Kind: sim.EvPacketHop, Tgt: l, Ref: pkt})
 	return txDone
+}
+
+// RegisterEventHandlers installs this package's typed-event handlers on r.
+// core.New registers every model package at wiring time; tests that drive an
+// engine directly must call this before traffic flows.
+func RegisterEventHandlers(r sim.HandlerRegistrar) {
+	r.RegisterHandler(sim.EvPacketHop, func(_ sim.Time, ev sim.Event) {
+		ev.Tgt.(*Link).dst.Receive(ev.Ref.(*packet.Packet))
+	})
 }
 
 // Utilization returns the fraction of the elapsed time spent transmitting.

@@ -18,6 +18,7 @@ func mkpkt(payload int) *packet.Packet {
 
 func TestDeliveryTiming(t *testing.T) {
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	var got sim.Time = -1
 	var first sim.Time
 	sink := EndpointFunc(func(p *packet.Packet) {
@@ -44,6 +45,7 @@ func TestDeliveryTiming(t *testing.T) {
 
 func TestBackToBackSerialization(t *testing.T) {
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	var times []sim.Time
 	sink := EndpointFunc(func(p *packet.Packet) { times = append(times, eng.Now()) })
 	l := New(eng, sink, 1_000_000_000, 0)
@@ -75,6 +77,7 @@ func TestMinFramePadding(t *testing.T) {
 
 func TestBusyAndFreeAt(t *testing.T) {
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	l := New(eng, EndpointFunc(func(*packet.Packet) {}), 1_000_000_000, 0)
 	eng.At(0, func() {
 		done := l.Send(mkpkt(1472))
@@ -93,6 +96,7 @@ func TestBusyAndFreeAt(t *testing.T) {
 
 func TestUtilization(t *testing.T) {
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	l := New(eng, EndpointFunc(func(*packet.Packet) {}), 1_000_000_000, 0)
 	eng.At(0, func() {
 		for i := 0; i < 100; i++ {

@@ -148,15 +148,18 @@ func (n *NIC) kickTx() {
 	n.txBusy = true
 	pkt.SentAt = n.sched.Now()
 	txDone := n.wire.Send(pkt)
-	n.sched.At(txDone, func() {
-		n.txq = n.txq[1:]
-		n.txBusy = false
-		n.Stats.TxPackets++
-		if n.OnTxDrain != nil {
-			n.OnTxDrain()
-		}
-		n.kickTx()
-	})
+	n.sched.AtEvent(txDone, sim.Event{Kind: sim.EvNicTx, Tgt: n})
+}
+
+// txDone retires the in-flight TX descriptor (the EvNicTx handler).
+func (n *NIC) txDone() {
+	n.txq = n.txq[1:]
+	n.txBusy = false
+	n.Stats.TxPackets++
+	if n.OnTxDrain != nil {
+		n.OnTxDrain()
+	}
+	n.kickTx()
 }
 
 // --- RX path ---------------------------------------------------------------
@@ -182,17 +185,33 @@ func (n *NIC) maybeRaiseRxInt() {
 		fire = now
 	}
 	n.rxIntPending = true
-	n.sched.At(fire, func() {
-		n.rxIntPending = false
-		if !n.rxIntEnabled || n.stalled || len(n.rxq) == 0 {
-			return
-		}
-		n.lastRxInt = n.sched.Now()
-		n.Stats.RxIRQs++
-		if n.OnRxInterrupt != nil {
-			n.OnRxInterrupt()
-		}
-	})
+	n.sched.AtEvent(fire, sim.Event{Kind: sim.EvNicRxIntr, Tgt: n})
+}
+
+// rxIntrFire delivers a mitigated RX interrupt (the EvNicRxIntr handler).
+// Conditions are re-checked at fire time: the driver may have disabled
+// interrupts (NAPI), the device may have stalled, or polling may have
+// drained the ring since the interrupt was armed.
+func (n *NIC) rxIntrFire() {
+	n.rxIntPending = false
+	if !n.rxIntEnabled || n.stalled || len(n.rxq) == 0 {
+		return
+	}
+	n.lastRxInt = n.sched.Now()
+	n.Stats.RxIRQs++
+	if n.OnRxInterrupt != nil {
+		n.OnRxInterrupt()
+	}
+}
+
+// RegisterEventHandlers installs this package's typed-event handlers on r
+// (cascading to the link package's, which the NIC's wire depends on).
+// core.New registers every model package at wiring time; tests that drive an
+// engine directly must call this before traffic flows.
+func RegisterEventHandlers(r sim.HandlerRegistrar) {
+	link.RegisterEventHandlers(r)
+	r.RegisterHandler(sim.EvNicTx, func(_ sim.Time, ev sim.Event) { ev.Tgt.(*NIC).txDone() })
+	r.RegisterHandler(sim.EvNicRxIntr, func(_ sim.Time, ev sim.Event) { ev.Tgt.(*NIC).rxIntrFire() })
 }
 
 // PopRx removes and returns the oldest received frame, or nil if the ring is

@@ -17,6 +17,7 @@ func mkpkt(payload int) *packet.Packet {
 func newNIC(t *testing.T, params Params, sink link.Endpoint) (sim.Runner, *NIC) {
 	t.Helper()
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	wire := link.New(eng, sink, gbps, 100*sim.Nanosecond)
 	n, err := New(eng, params, wire)
 	if err != nil {
@@ -82,6 +83,7 @@ func TestTxRingFull(t *testing.T) {
 
 func TestRxInterruptImmediateWhenIdle(t *testing.T) {
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	wire := link.New(eng, link.EndpointFunc(func(*packet.Packet) {}), gbps, 0)
 	n, err := New(eng, Defaults(), wire)
 	if err != nil {
@@ -100,6 +102,7 @@ func TestRxInterruptMitigation(t *testing.T) {
 	params := Defaults()
 	params.RxITR = 100 * sim.Microsecond
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	wire := link.New(eng, link.EndpointFunc(func(*packet.Packet) {}), gbps, 0)
 	n, _ := New(eng, params, wire)
 	var irqs []sim.Time
@@ -133,6 +136,7 @@ func TestRxOverrun(t *testing.T) {
 	params := Defaults()
 	params.RxRing = 4
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	wire := link.New(eng, link.EndpointFunc(func(*packet.Packet) {}), gbps, 0)
 	n, _ := New(eng, params, wire)
 	// No driver attached: ring fills and overflows.
@@ -152,6 +156,7 @@ func TestRxOverrun(t *testing.T) {
 
 func TestNAPIDisableEnable(t *testing.T) {
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	wire := link.New(eng, link.EndpointFunc(func(*packet.Packet) {}), gbps, 0)
 	n, _ := New(eng, Params{TxRing: 8, RxRing: 8, RxITR: 0}, wire)
 	irqs := 0
@@ -176,6 +181,7 @@ func TestNAPIDisableEnable(t *testing.T) {
 
 func TestReenableWithPendingRaisesIRQ(t *testing.T) {
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	wire := link.New(eng, link.EndpointFunc(func(*packet.Packet) {}), gbps, 0)
 	n, _ := New(eng, Params{TxRing: 8, RxRing: 8, RxITR: 0}, wire)
 	irqs := 0

@@ -26,6 +26,12 @@ type Engine struct {
 	seq    uint64
 	q      eventQueue
 	halted bool
+	haltAt Time // pending HaltAt target; 0 = none armed
+
+	// handlers is the typed-event jump table (see event.go). Partitions of a
+	// ParallelEngine share one table. Lazily allocated so a zero-value Engine
+	// still serves the closure lane.
+	handlers *handlerTable
 
 	// Executed counts dispatched events, for performance reporting (§5).
 	Executed uint64
@@ -33,7 +39,29 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{handlers: new(handlerTable)}
+}
+
+// RegisterHandler installs the handler dispatched for typed events of kind k
+// (last registration wins). Call before scheduling events of that kind —
+// normally once at wiring time (core.New registers every model package's
+// handlers on the cluster engine).
+func (e *Engine) RegisterHandler(k EvKind, h Handler) {
+	if e.handlers == nil {
+		e.handlers = new(handlerTable)
+	}
+	e.handlers.register(k, h)
+}
+
+// dispatchEvent runs one typed event through the jump table.
+func (e *Engine) dispatchEvent(at Time, ev Event) {
+	if e.handlers != nil {
+		if h := e.handlers[ev.Kind]; h != nil {
+			h(at, ev)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: no handler registered for %v: call RegisterHandler before scheduling typed events (core.New registers the model packages' handlers; tests driving an Engine directly must call the package RegisterEventHandlers helpers themselves)", ev.Kind))
 }
 
 // Now returns the current simulated time.
@@ -62,6 +90,30 @@ func (e *Engine) After(d Duration, fn func()) EventID {
 	return e.At(e.now.Add(d), fn)
 }
 
+// AtEvent schedules a typed event record at the absolute time at — the
+// zero-allocation lane for hot paths (see event.go). The same past/horizon
+// rules as At apply, and both lanes share one sequence counter, so typed and
+// closure events dispatch in a single ascending (time, schedule-order).
+func (e *Engine) AtEvent(at Time, ev Event) EventID {
+	checkKind(ev.Kind)
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %v at %v before now %v", ev.Kind, at, e.now))
+	}
+	if at > maxSchedulable {
+		panic(fmt.Sprintf("sim: event time %d ps is beyond the schedulable horizon", int64(at)))
+	}
+	e.seq++
+	return e.q.scheduleEvent(at, e.seq, ev)
+}
+
+// AfterEvent schedules a typed event record d after the current time.
+func (e *Engine) AfterEvent(d Duration, ev Event) EventID {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.AtEvent(e.now.Add(d), ev)
+}
+
 // Cancel prevents a scheduled event from running. Cancelling an event that
 // has already fired (or was already cancelled) is a no-op.
 func (e *Engine) Cancel(id EventID) {
@@ -74,6 +126,22 @@ func (e *Engine) Pending() int { return e.q.size() }
 
 // Halt stops the run loop after the current event returns.
 func (e *Engine) Halt() { e.halted = true }
+
+// HaltAt stops the run loop once simulated time would pass t: every queued
+// event with a timestamp <= t still runs (including chains spawned at t
+// itself), then the clock freezes exactly at t and RunUntil returns. A t in
+// the past is clamped to Now, completing the current instant. This is the
+// sequential emulation of the partitioned engine's Halt, which always
+// completes the quantum in progress — core.Cluster uses it so engine
+// selection cannot leak into results through the halt instant. The target is
+// one-shot (cleared when it triggers) and t must be positive: a zero t is
+// ignored, matching the unarmed state.
+func (e *Engine) HaltAt(t Time) {
+	if t < e.now {
+		t = e.now
+	}
+	e.haltAt = t
+}
 
 // Run dispatches events until the queue is empty or Halt is called.
 func (e *Engine) Run() {
@@ -90,14 +158,36 @@ func (e *Engine) RunUntil(deadline Time) {
 		if !ok {
 			break
 		}
+		// An armed HaltAt target inside the deadline wins; a target beyond it
+		// stays armed for a later run (the deadline cut matches the partitioned
+		// engine clamping its final quantum to the deadline).
+		if e.haltAt != 0 && e.haltAt <= deadline && at > e.haltAt {
+			e.now = e.haltAt
+			e.haltAt = 0
+			return
+		}
 		if at > deadline {
 			e.now = deadline
 			return
 		}
-		_, fn := e.q.popHead()
+		_, fn, ev := e.q.popHead()
 		e.now = at
 		e.Executed++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			e.dispatchEvent(at, ev)
+		}
+	}
+	// A drained queue with an armed HaltAt target still stops at the target
+	// (the partitioned engine stops at the halting quantum's barrier whether
+	// or not the queues drained there).
+	if !e.halted && e.haltAt != 0 && e.haltAt <= deadline {
+		if e.now < e.haltAt {
+			e.now = e.haltAt
+		}
+		e.haltAt = 0
+		return
 	}
 	// When the queue drains before the deadline, time still passes; a Halt,
 	// however, freezes the clock at the last dispatched event.
@@ -113,10 +203,14 @@ func (e *Engine) Step() bool {
 	if !ok {
 		return false
 	}
-	_, fn := e.q.popHead()
+	_, fn, ev := e.q.popHead()
 	e.now = at
 	e.Executed++
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		e.dispatchEvent(at, ev)
+	}
 	return true
 }
 

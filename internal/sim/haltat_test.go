@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// HaltAt must run every event with a timestamp <= the target (including
+// chains spawned at the target instant), freeze the clock exactly at the
+// target, and leave later events queued for a subsequent run.
+func TestHaltAtCompletesTarget(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.At(Time(Microsecond), func() { fired = append(fired, 1) })
+	e.At(Time(2*Microsecond), func() {
+		fired = append(fired, 2)
+		// A chain spawned exactly at the target still belongs to it.
+		e.At(Time(2*Microsecond), func() { fired = append(fired, 22) })
+	})
+	e.At(Time(3*Microsecond), func() { fired = append(fired, 3) })
+	e.HaltAt(Time(2 * Microsecond))
+	e.RunUntil(Never)
+	if want := []int{1, 2, 22}; len(fired) != len(want) || fired[0] != 1 || fired[1] != 2 || fired[2] != 22 {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if e.Now() != Time(2*Microsecond) {
+		t.Fatalf("clock froze at %v, want 2µs", e.Now())
+	}
+	// The target is one-shot: a later run proceeds past it.
+	e.RunUntil(Never)
+	if len(fired) != 4 || fired[3] != 3 {
+		t.Fatalf("resumed run fired %v, want the 3µs event appended", fired)
+	}
+}
+
+// A HaltAt target beyond the RunUntil deadline stays armed: the deadline cut
+// wins now, the target wins on the next run — mirroring the partitioned
+// engine clamping its final quantum to the deadline.
+func TestHaltAtBeyondDeadlineStaysArmed(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i)*Time(Microsecond), func() { ran++ })
+	}
+	e.HaltAt(Time(4 * Microsecond))
+	e.RunUntil(Time(2 * Microsecond))
+	if ran != 2 || e.Now() != Time(2*Microsecond) {
+		t.Fatalf("after deadline run: ran %d at %v, want 2 at 2µs", ran, e.Now())
+	}
+	e.RunUntil(Never)
+	if ran != 4 || e.Now() != Time(4*Microsecond) {
+		t.Fatalf("after armed run: ran %d at %v, want 4 at 4µs", ran, e.Now())
+	}
+}
+
+// A drained queue does not outrun the target: the clock still advances to
+// (exactly) the HaltAt time, not the deadline.
+func TestHaltAtDrainedQueueStopsAtTarget(t *testing.T) {
+	e := NewEngine()
+	e.At(Time(2*Microsecond), func() {})
+	e.HaltAt(Time(5 * Microsecond))
+	e.RunUntil(Time(20 * Microsecond))
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("drained run stopped at %v, want 5µs", e.Now())
+	}
+}
+
+// A past target clamps to Now: the run stops immediately without regressing
+// the clock.
+func TestHaltAtPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(Time(3*Microsecond), func() {
+		ran++
+		e.HaltAt(Time(Microsecond)) // already in the past
+	})
+	e.At(Time(4*Microsecond), func() { ran++ })
+	e.RunUntil(Never)
+	if ran != 1 || e.Now() != Time(3*Microsecond) {
+		t.Fatalf("ran %d at %v, want 1 at 3µs (past target clamps to now)", ran, e.Now())
+	}
+}

@@ -31,10 +31,13 @@ import (
 // generation barrier (see barrier.go) instead of per-quantum channel sends,
 // each quantum's earliest-next-event time is maintained incrementally
 // (per-worker minima reduced at the barrier plus the timestamps of delivered
-// messages) instead of re-scanning every partition, and the barrier message
-// exchange reuses one pending buffer and a typed sort. Barrier/sync cost is
-// what bounds parallel-simulation scaling, so these paths are benchmarked in
-// BenchmarkSection5EngineParallel and gated in CI (cmd/benchjson).
+// messages) instead of re-scanning every partition, and cross-partition
+// messages are batched per (edge, quantum) into reusable slabs — a typed
+// record per message, no per-message closure — then merged with one typed
+// sort at the barrier (SimBricks-style batched exchange rather than
+// per-message handoff). Barrier/sync cost is what bounds parallel-simulation
+// scaling, so these paths are benchmarked in BenchmarkSection5EngineParallel
+// and gated in CI (cmd/benchjson).
 type ParallelEngine struct {
 	parts   []*Partition
 	quantum Duration
@@ -43,12 +46,28 @@ type ParallelEngine struct {
 	workers int
 	stop    atomic.Bool
 
+	// handlers is the jump table shared by every partition's engine, so a
+	// typed event crossing partitions dispatches through the same handler it
+	// would locally.
+	handlers *handlerTable
+
+	// edges[src*P+dst] is the reusable slab of messages queued on edge
+	// src->dst during the current quantum. A slab is only ever appended to
+	// by src's worker and drained by the coordinator at the barrier, and it
+	// keeps its capacity across quanta.
+	edges []xslab
+
 	// earliest caches the minimum NextEventTime across partitions; it is
 	// exact at every quantum barrier (workers fold their partitions' minima,
 	// message delivery folds in delivered timestamps).
 	earliest Time
 	// pending is the reusable barrier-exchange merge buffer.
 	pending []xmsg
+
+	// failedCrossCancels counts Cancel calls with a non-zero EventID through
+	// a Cross scheduler (see crossScheduler.Cancel). Atomic: workers may
+	// cancel concurrently during a quantum.
+	failedCrossCancels atomic.Uint64
 
 	// intro, when non-nil, collects per-quantum introspection (see
 	// EnableIntrospection). nil keeps the hot path at one pointer test per
@@ -66,16 +85,26 @@ type Partition struct {
 	pe      *ParallelEngine
 	id      int
 	eng     *Engine
-	outbox  []xmsg
 	sendSeq uint64
+	// dirty lists the destination partitions this partition has queued
+	// messages for in the current quantum (first-touch order), so the
+	// barrier exchange visits only populated edges instead of all P^2.
+	dirty []int32
 }
 
-// xmsg is a cross-partition message: run fn on partition dst at time at.
+// xslab is one edge's reusable message batch.
+type xslab struct {
+	recs []xmsg
+}
+
+// xmsg is a cross-partition message bound for partition dst at time at: a
+// typed event record (ev), or a closure-lane callback when fn is non-nil.
 type xmsg struct {
 	at  Time
-	src int
 	seq uint64
-	dst int
+	src int32
+	dst int32
+	ev  Event
 	fn  func()
 }
 
@@ -111,10 +140,29 @@ func NewParallelEngine(n int, quantum Duration) *ParallelEngine {
 		panic("sim: quantum must be positive")
 	}
 	pe := &ParallelEngine{quantum: quantum, workers: 1}
+	pe.handlers = new(handlerTable)
+	pe.edges = make([]xslab, n*n)
 	for i := 0; i < n; i++ {
-		pe.parts = append(pe.parts, &Partition{pe: pe, id: i, eng: NewEngine()})
+		eng := NewEngine()
+		eng.handlers = pe.handlers // one table for every partition
+		pe.parts = append(pe.parts, &Partition{pe: pe, id: i, eng: eng})
 	}
 	return pe
+}
+
+// RegisterHandler installs a typed-event handler on the table shared by all
+// partitions. Register before the run starts (core.New does): workers read
+// the table without synchronization.
+func (pe *ParallelEngine) RegisterHandler(k EvKind, h Handler) {
+	pe.handlers.register(k, h)
+}
+
+// FailedCrossCancels reports how many times model code tried to cancel a
+// non-zero EventID through a Cross scheduler. Cross-partition events cannot
+// be cancelled (see crossScheduler.Cancel); a non-zero count means some
+// component is holding an EventID that never named a cancellable event.
+func (pe *ParallelEngine) FailedCrossCancels() uint64 {
+	return pe.failedCrossCancels.Load()
 }
 
 // Partition returns the scheduling handle for partition i. Model components
@@ -168,6 +216,13 @@ func (p *Partition) At(at Time, fn func()) EventID { return p.eng.At(at, fn) }
 // After schedules fn locally d after the partition's current time.
 func (p *Partition) After(d Duration, fn func()) EventID { return p.eng.After(d, fn) }
 
+// AtEvent schedules a typed event record locally at the absolute time at.
+func (p *Partition) AtEvent(at Time, ev Event) EventID { return p.eng.AtEvent(at, ev) }
+
+// AfterEvent schedules a typed event record locally d after the partition's
+// current time.
+func (p *Partition) AfterEvent(d Duration, ev Event) EventID { return p.eng.AfterEvent(d, ev) }
+
 // Cancel prevents a locally scheduled event from running.
 func (p *Partition) Cancel(id EventID) { p.eng.Cancel(id) }
 
@@ -178,23 +233,47 @@ func (p *Partition) Pending() int { return p.eng.Pending() }
 // ParallelEngine.Send from this partition.
 func (p *Partition) Send(dst int, at Time, fn func()) { p.pe.Send(p.id, dst, at, fn) }
 
+// SendEvent delivers a typed event record to partition dst at absolute time
+// at; it is shorthand for ParallelEngine.SendEvent from this partition.
+func (p *Partition) SendEvent(dst int, at Time, ev Event) { p.pe.SendEvent(p.id, dst, at, ev) }
+
 // Send delivers fn to partition dst at absolute time at. It must be called
 // from within partition src (i.e., from an event callback running on
 // partition src's engine). at must not precede the end of the executing
 // quantum; this is the conservative-lookahead requirement that lets
 // partitions run a full quantum without hearing from their neighbours.
 func (pe *ParallelEngine) Send(src, dst int, at Time, fn func()) {
+	pe.sendRec(src, dst, xmsg{at: at, src: int32(src), dst: int32(dst), fn: fn})
+}
+
+// SendEvent delivers a typed event record to partition dst at absolute time
+// at — the zero-allocation cross-partition lane. Same caller and lookahead
+// rules as Send.
+func (pe *ParallelEngine) SendEvent(src, dst int, at Time, ev Event) {
+	checkKind(ev.Kind)
+	pe.sendRec(src, dst, xmsg{at: at, src: int32(src), dst: int32(dst), ev: ev})
+}
+
+// sendRec batches a message into the reusable slab of the src->dst edge. The
+// record's seq is assigned here (per source partition), completing the
+// (time, source, sequence) merge key.
+func (pe *ParallelEngine) sendRec(src, dst int, m xmsg) {
 	p := pe.parts[src]
-	if at < pe.qEnd {
+	if m.at < pe.qEnd {
 		panic(fmt.Sprintf(
 			"sim: cross-partition send %d->%d at %v violates conservative lookahead: "+
 				"the current quantum ends at %v (quantum %v), so cross-partition events must "+
 				"be scheduled at or after the barrier; lower the engine quantum below the "+
 				"minimum inter-partition link latency",
-			src, dst, at, pe.qEnd, pe.quantum))
+			src, dst, m.at, pe.qEnd, pe.quantum))
 	}
 	p.sendSeq++
-	p.outbox = append(p.outbox, xmsg{at: at, src: src, seq: p.sendSeq, dst: dst, fn: fn})
+	m.seq = p.sendSeq
+	slab := &pe.edges[src*len(pe.parts)+dst]
+	if len(slab.recs) == 0 {
+		p.dirty = append(p.dirty, int32(dst))
+	}
+	slab.recs = append(slab.recs, m)
 }
 
 // gridNext returns the earliest quantum-grid boundary strictly after t.
@@ -273,26 +352,43 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 			pe.intro.note(pe.parts)
 		}
 
-		// Exchange cross-partition messages deterministically: merge in
-		// (time, source partition, send sequence) order, a total order that
-		// depends only on the model. The merge buffer and the outboxes are
-		// reused quantum after quantum — reset, never reallocated.
+		// Exchange cross-partition messages deterministically: gather the
+		// populated edge slabs (each partition's dirty list names them, so
+		// cost scales with traffic, not with P^2), merge in (time, source
+		// partition, send sequence) order — a total order that depends only
+		// on the model — and bulk-schedule into the destination engines.
+		// The merge buffer and the edge slabs are reused quantum after
+		// quantum: reset, never reallocated.
 		pending := pe.pending[:0]
+		np := len(pe.parts)
 		for _, p := range pe.parts {
-			pending = append(pending, p.outbox...)
-			clear(p.outbox) // drop closure references, keep capacity
-			p.outbox = p.outbox[:0]
+			if len(p.dirty) == 0 {
+				continue
+			}
+			for _, dst := range p.dirty {
+				slab := &pe.edges[p.id*np+int(dst)]
+				pending = append(pending, slab.recs...)
+				clear(slab.recs) // drop payload references, keep capacity
+				slab.recs = slab.recs[:0]
+			}
+			p.dirty = p.dirty[:0]
 		}
 		if len(pending) > 1 {
 			slices.SortFunc(pending, xmsgCompare)
 		}
-		for _, m := range pending {
-			pe.parts[m.dst].eng.At(m.at, m.fn)
+		for i := range pending {
+			m := &pending[i]
+			eng := pe.parts[m.dst].eng
+			if m.fn != nil {
+				eng.At(m.at, m.fn)
+			} else {
+				eng.AtEvent(m.at, m.ev)
+			}
 			if m.at < pe.earliest {
 				pe.earliest = m.at
 			}
 		}
-		clear(pending) // release delivered closures held by the reused buffer
+		clear(pending) // release delivered payloads held by the reused buffer
 		pe.pending = pending[:0]
 	}
 
@@ -318,7 +414,7 @@ func (pe *ParallelEngine) Drained() bool {
 		if p.eng.NextEventTime() != Never {
 			return false
 		}
-		if len(p.outbox) > 0 {
+		if len(p.dirty) > 0 { // some edge slab still holds messages
 			return false
 		}
 	}
@@ -351,7 +447,30 @@ func (c crossScheduler) After(d Duration, fn func()) EventID {
 	return c.At(c.Now().Add(d), fn)
 }
 
-func (c crossScheduler) Cancel(EventID) {}
+func (c crossScheduler) AtEvent(at Time, ev Event) EventID {
+	c.pe.SendEvent(c.src, c.dst, at, ev)
+	return EventID{}
+}
+
+func (c crossScheduler) AfterEvent(d Duration, ev Event) EventID {
+	return c.AtEvent(c.Now().Add(d), ev)
+}
+
+// Cancel's contract on a Cross scheduler: cross-partition events cannot be
+// cancelled — once a message is batched for the barrier exchange (and, a
+// quantum later, scheduled on the destination engine), no handle back to it
+// exists, which is why At/AtEvent return the zero EventID. Cancelling that
+// zero ID is therefore the expected no-op. A *non-zero* ID reaching this
+// method is a model bug — the caller is trying to cancel some other engine's
+// event through a cross handle — and used to be silently swallowed; it is now
+// recorded on the engine (ParallelEngine.FailedCrossCancels) so tests and
+// harnesses can assert none occurred.
+func (c crossScheduler) Cancel(id EventID) {
+	if id == (EventID{}) {
+		return
+	}
+	c.pe.failedCrossCancels.Add(1)
+}
 
 // workerMin is a per-worker minimum-next-event slot, padded to a cache line
 // so concurrent writes at the barrier never false-share.

@@ -1,0 +1,165 @@
+package sim
+
+import "testing"
+
+// evRingNode is one partition's state in the typed-lane ring model: ticks
+// chain locally through EvAppTick records and tokens hop to the neighbour
+// through SendEvent, so both the local typed lane and the batched
+// cross-partition exchange are exercised.
+type evRingNode struct {
+	part  *Partition
+	id    int
+	nodes []*evRingNode
+	log   []pingRecord
+}
+
+func (r *evRingNode) tick(hop int) {
+	r.log = append(r.log, pingRecord{r.id, r.part.Now(), hop})
+	if hop >= 40 {
+		return
+	}
+	r.part.AfterEvent(700*Nanosecond, Event{Kind: EvAppTick, Tgt: r, Arg: uint64(hop + 1)})
+	if hop%5 == r.id%3 {
+		next := (r.id + 1) % len(r.nodes)
+		r.part.SendEvent(next, r.part.Now().Add(r.part.pe.Quantum()),
+			Event{Kind: EvAppTick, Tgt: r.nodes[next], Arg: uint64(hop + 2)})
+	}
+}
+
+// runEvRing runs the typed-lane ring at the given worker count and returns
+// the per-partition logs.
+func runEvRing(n, workers int, until Time) [][]pingRecord {
+	const latency = 3 * Microsecond
+	pe := NewParallelEngine(n, latency)
+	pe.SetWorkers(workers)
+	pe.RegisterHandler(EvAppTick, func(_ Time, ev Event) {
+		ev.Tgt.(*evRingNode).tick(int(ev.Arg))
+	})
+	nodes := make([]*evRingNode, n)
+	for p := 0; p < n; p++ {
+		nodes[p] = &evRingNode{part: pe.Partition(p), id: p, nodes: nodes}
+	}
+	for p := 0; p < n; p++ {
+		pe.Partition(p).AtEvent(Time(p)*Time(100*Nanosecond),
+			Event{Kind: EvAppTick, Tgt: nodes[p], Arg: 0})
+	}
+	pe.RunUntil(until)
+	logs := make([][]pingRecord, n)
+	for p, r := range nodes {
+		logs[p] = r.log
+	}
+	return logs
+}
+
+// TestParallelTypedLaneWorkerInvariance is the typed-lane twin of
+// TestParallelWorkerCountInvariance: local AfterEvent chains and batched
+// SendEvent exchanges must produce identical per-partition logs at every
+// worker count.
+func TestParallelTypedLaneWorkerInvariance(t *testing.T) {
+	const n = 6
+	until := Time(400 * Microsecond)
+	want := runEvRing(n, 1, until)
+	total := 0
+	for p := range want {
+		total += len(want[p])
+	}
+	if total == 0 {
+		t.Fatal("typed-lane ring produced no records")
+	}
+	for _, workers := range []int{2, 3, 6, 64} {
+		got := runEvRing(n, workers, until)
+		for p := 0; p < n; p++ {
+			if len(got[p]) != len(want[p]) {
+				t.Fatalf("workers=%d partition %d: %d records, want %d",
+					workers, p, len(got[p]), len(want[p]))
+			}
+			for i := range want[p] {
+				if got[p][i] != want[p][i] {
+					t.Fatalf("workers=%d partition %d record %d: got %+v want %+v",
+						workers, p, i, got[p][i], want[p][i])
+				}
+			}
+		}
+	}
+}
+
+// TestMixedLaneCrossPartitionMergeOrder pins that closure Sends and typed
+// SendEvents on the same edge share one per-source sequence, so the barrier
+// merge preserves exact send order between the lanes.
+func TestMixedLaneCrossPartitionMergeOrder(t *testing.T) {
+	pe := NewParallelEngine(2, Microsecond)
+	var order []int
+	pe.RegisterHandler(EvAppTick, func(_ Time, ev Event) { order = append(order, int(ev.Arg)) })
+	at := Time(Microsecond)
+	pe.Partition(0).At(0, func() {
+		for i := 0; i < 10; i++ {
+			if i%2 == 0 {
+				i := i
+				pe.Send(0, 1, at, func() { order = append(order, i) })
+			} else {
+				pe.SendEvent(0, 1, at, Event{Kind: EvAppTick, Arg: uint64(i)})
+			}
+		}
+	})
+	pe.RunUntil(Time(5 * Microsecond))
+	if len(order) != 10 {
+		t.Fatalf("delivered %d messages, want 10", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery %d = message %d: lanes broke send order (%v)", i, got, order)
+		}
+	}
+}
+
+// TestCrossSchedulerTypedLane drives AtEvent/AfterEvent through a Cross
+// scheduler: the record crosses the barrier, dispatches through the shared
+// handler table on the destination, and returns the zero EventID.
+func TestCrossSchedulerTypedLane(t *testing.T) {
+	pe := NewParallelEngine(2, Microsecond)
+	var deliveredAt Time
+	var deliveredArg uint64
+	pe.RegisterHandler(EvAppTick, func(now Time, ev Event) {
+		deliveredAt = now
+		deliveredArg = ev.Arg
+	})
+	xs := pe.Cross(0, 1)
+	pe.Partition(0).At(Time(200*Nanosecond), func() {
+		if id := xs.AfterEvent(2*Microsecond, Event{Kind: EvAppTick, Arg: 77}); id != (EventID{}) {
+			t.Errorf("cross-partition typed events must return the zero EventID, got %+v", id)
+		}
+	})
+	pe.RunUntil(Time(10 * Microsecond))
+	if deliveredAt != Time(2200*Nanosecond) || deliveredArg != 77 {
+		t.Fatalf("cross typed event: at %v arg %d, want 2.2µs arg 77", deliveredAt, deliveredArg)
+	}
+}
+
+// TestCrossSchedulerFailedCancelRecorded is the regression test for the old
+// silent no-op: cancelling the zero EventID through a Cross scheduler is the
+// documented no-op, while a non-zero ID (a model bug) must be counted on the
+// engine instead of vanishing.
+func TestCrossSchedulerFailedCancelRecorded(t *testing.T) {
+	pe := NewParallelEngine(2, Microsecond)
+	xs := pe.Cross(0, 1)
+	xs.Cancel(EventID{})
+	if got := pe.FailedCrossCancels(); got != 0 {
+		t.Fatalf("zero-ID cancel was recorded as a failure: %d", got)
+	}
+	// A non-zero ID can only come from some other scheduler (here a local
+	// engine); trying to cancel it through the cross handle is the bug the
+	// counter exists for.
+	local := pe.Partition(0).At(Time(Microsecond), func() {})
+	xs.Cancel(local)
+	xs.Cancel(local)
+	if got := pe.FailedCrossCancels(); got != 2 {
+		t.Fatalf("FailedCrossCancels = %d, want 2", got)
+	}
+	// The local event itself must be untouched by the failed cross cancels.
+	fired := false
+	pe.Partition(0).At(Time(Microsecond), func() { fired = true })
+	pe.RunUntil(Time(2 * Microsecond))
+	if !fired {
+		t.Fatal("failed cross cancel disturbed the local queue")
+	}
+}

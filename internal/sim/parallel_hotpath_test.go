@@ -25,35 +25,35 @@ func twoPartTraffic(workers int) *ParallelEngine {
 }
 
 // TestBarrierExchangeBufferReuse pins the allocation-free barrier contract:
-// once warmed, the reusable pending merge buffer and the per-partition
-// outboxes keep their backing capacity across quanta instead of being
-// reallocated, and delivered closures are not pinned by the recycled
-// storage.
+// once warmed, the reusable pending merge buffer and the per-edge slabs keep
+// their backing capacity across quanta instead of being reallocated, and
+// delivered closures are not pinned by the recycled storage.
 func TestBarrierExchangeBufferReuse(t *testing.T) {
 	pe := twoPartTraffic(1)
 	pe.RunUntil(Time(50 * Microsecond)) // warm up ~50 quanta
 	capPending := cap(pe.pending)
-	capOut0 := cap(pe.parts[0].outbox)
-	if capPending == 0 || capOut0 == 0 {
-		t.Fatalf("exchange buffers never grew: pending %d outbox %d", capPending, capOut0)
+	capEdge01 := cap(pe.edges[0*2+1].recs)
+	if capPending == 0 || capEdge01 == 0 {
+		t.Fatalf("exchange buffers never grew: pending %d edge 0->1 %d", capPending, capEdge01)
 	}
 	pe.RunUntil(Time(500 * Microsecond)) // ~450 more quanta, same load
 	if got := cap(pe.pending); got != capPending {
 		t.Errorf("pending buffer reallocated under steady load: cap %d -> %d", capPending, got)
 	}
-	if got := cap(pe.parts[0].outbox); got != capOut0 {
-		t.Errorf("outbox reallocated under steady load: cap %d -> %d", capOut0, got)
+	if got := cap(pe.edges[0*2+1].recs); got != capEdge01 {
+		t.Errorf("edge slab reallocated under steady load: cap %d -> %d", capEdge01, got)
 	}
-	// The recycled buffers must not pin the closures they carried.
+	// The recycled buffers must not pin the payloads they carried.
 	for _, m := range pe.pending[:cap(pe.pending)] {
-		if m.fn != nil {
-			t.Fatal("pending buffer retains a delivered closure")
+		if m.fn != nil || m.ev.Tgt != nil || m.ev.Ref != nil {
+			t.Fatal("pending buffer retains a delivered payload")
 		}
 	}
-	for _, p := range pe.parts {
-		for _, m := range p.outbox[:cap(p.outbox)] {
-			if m.fn != nil {
-				t.Fatal("outbox retains a flushed closure")
+	for i := range pe.edges {
+		recs := pe.edges[i].recs
+		for _, m := range recs[:cap(recs)] {
+			if m.fn != nil || m.ev.Tgt != nil || m.ev.Ref != nil {
+				t.Fatal("edge slab retains a flushed payload")
 			}
 		}
 	}

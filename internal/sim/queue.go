@@ -85,13 +85,22 @@ func entryCompare(a, b entry) int {
 	return 0
 }
 
-// slotRec is a generation-tagged callback slot. fn == nil marks a cancelled
-// (or free) slot; gen increments every time the slot is released, so stale
-// EventIDs can never cancel the slot's next tenant.
+// slotRec is a generation-tagged payload slot serving both scheduling lanes:
+// kind == evClosure means fn holds a closure-lane callback, any other
+// non-zero kind means ev holds a typed record (see event.go), and
+// kind == evNone marks a cancelled or free slot. gen increments every time
+// the slot is released, so stale EventIDs can never cancel the slot's next
+// tenant. The queue's tier arrays never hold payloads — only 24-byte entry
+// references — so both lanes sort and sift pointer-free.
 type slotRec struct {
-	gen uint32
-	fn  func()
+	gen  uint32
+	kind EvKind // evNone = free/cancelled; evClosure = fn lane; else typed
+	fn   func()
+	ev   Event
 }
+
+// live reports whether the slot still holds a dispatchable payload.
+func (r *slotRec) live() bool { return r.kind != evNone }
 
 // eventQueue is the tiered priority queue. The zero value is ready to use:
 // with no epoch open (wheelEnd == 0), every insert lands in the far heap and
@@ -126,38 +135,59 @@ type eventQueue struct {
 // exactly while its entry is queued, so this is O(1).
 func (q *eventQueue) size() int { return len(q.slots) - len(q.free) }
 
-func (q *eventQueue) allocSlot(fn func()) uint32 {
+func (q *eventQueue) allocSlot() uint32 {
 	if n := len(q.free); n > 0 {
 		s := q.free[n-1]
 		q.free = q.free[:n-1]
-		q.slots[s].fn = fn
 		return s
 	}
-	q.slots = append(q.slots, slotRec{fn: fn})
+	q.slots = append(q.slots, slotRec{})
 	return uint32(len(q.slots) - 1)
 }
 
 func (q *eventQueue) freeSlot(s uint32) {
-	q.slots[s].fn = nil // release the closure for GC
-	q.slots[s].gen++
+	rec := &q.slots[s]
+	rec.kind = evNone
+	rec.fn = nil     // release the closure for GC
+	rec.ev = Event{} // release Tgt/Ref for GC
+	rec.gen++
 	q.free = append(q.free, s)
 }
 
-// schedule inserts an event and returns its cancellation handle.
-// The caller guarantees now <= at <= maxSchedulable and a strictly
-// increasing seq.
-func (q *eventQueue) schedule(at Time, seq uint64, fn func()) EventID {
-	s := q.allocSlot(fn)
-	ent := entry{at: at, seq: seq, slot: s}
+// place routes an entry into the tier covering its timestamp.
+func (q *eventQueue) place(ent entry) {
 	switch {
-	case at < q.nearEnd:
+	case ent.at < q.nearEnd:
 		q.insertNear(ent)
-	case at < q.wheelEnd:
-		q.bucketAppend(int(at>>wheelGranularityBits)&wheelMask, ent)
+	case ent.at < q.wheelEnd:
+		q.bucketAppend(int(ent.at>>wheelGranularityBits)&wheelMask, ent)
 	default:
 		q.farPush(ent)
 	}
-	return EventID{slot: s + 1, gen: q.slots[s].gen}
+}
+
+// schedule inserts a closure-lane event and returns its cancellation handle.
+// The caller guarantees now <= at <= maxSchedulable and a strictly
+// increasing seq.
+func (q *eventQueue) schedule(at Time, seq uint64, fn func()) EventID {
+	s := q.allocSlot()
+	rec := &q.slots[s]
+	rec.kind = evClosure
+	rec.fn = fn
+	q.place(entry{at: at, seq: seq, slot: s})
+	return EventID{slot: s + 1, gen: rec.gen}
+}
+
+// scheduleEvent inserts a typed-lane event (same caller guarantees as
+// schedule; ev.Kind has been validated). Nothing is allocated unless the
+// slot table or a tier array itself must grow.
+func (q *eventQueue) scheduleEvent(at Time, seq uint64, ev Event) EventID {
+	s := q.allocSlot()
+	rec := &q.slots[s]
+	rec.kind = ev.Kind
+	rec.ev = ev
+	q.place(entry{at: at, seq: seq, slot: s})
+	return EventID{slot: s + 1, gen: rec.gen}
 }
 
 // bucketAppend places a wheel entry, marking occupancy and seeding capacity
@@ -180,15 +210,20 @@ func (q *eventQueue) bucketAppend(b int, ent entry) {
 
 // cancel marks the identified event dead if it is still queued. It returns
 // whether the ID was live. Stale or zero IDs are no-ops with no side effects.
+// Both lanes cancel identically: the payload is released immediately and the
+// queue entry dies lazily when it reaches the head.
 func (q *eventQueue) cancel(id EventID) bool {
 	if id.slot == 0 {
 		return false
 	}
 	s := id.slot - 1
-	if int(s) >= len(q.slots) || q.slots[s].gen != id.gen || q.slots[s].fn == nil {
+	if int(s) >= len(q.slots) || q.slots[s].gen != id.gen || !q.slots[s].live() {
 		return false
 	}
-	q.slots[s].fn = nil // entry dies lazily when it reaches the head
+	rec := &q.slots[s]
+	rec.kind = evNone
+	rec.fn = nil
+	rec.ev = Event{}
 	return true
 }
 
@@ -302,7 +337,7 @@ func (q *eventQueue) peekLive() (Time, bool) {
 			return 0, false
 		}
 		ent := q.near[q.nearPos]
-		if q.slots[ent.slot].fn != nil {
+		if q.slots[ent.slot].live() {
 			return ent.at, true
 		}
 		q.nearPos++
@@ -310,14 +345,22 @@ func (q *eventQueue) peekLive() (Time, bool) {
 	}
 }
 
-// popHead removes the head entry and returns its callback. Call only after a
-// true peekLive, which guarantees the head is live.
-func (q *eventQueue) popHead() (Time, func()) {
+// popHead removes the head entry and returns its payload: a non-nil fn for a
+// closure-lane event, otherwise the typed record in ev. The payload is
+// copied out and the slot freed before the caller dispatches, so a handler
+// may schedule (and grow the slot table) freely. Call only after a true
+// peekLive, which guarantees the head is live.
+func (q *eventQueue) popHead() (at Time, fn func(), ev Event) {
 	ent := q.near[q.nearPos]
 	q.nearPos++
-	fn := q.slots[ent.slot].fn
+	rec := &q.slots[ent.slot]
+	if rec.kind == evClosure {
+		fn = rec.fn
+	} else {
+		ev = rec.ev
+	}
 	q.freeSlot(ent.slot)
-	return ent.at, fn
+	return ent.at, fn, ev
 }
 
 // --- 4-ary min-heap (tier 3) -----------------------------------------------

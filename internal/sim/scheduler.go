@@ -15,13 +15,23 @@ package sim
 type Scheduler interface {
 	// Now returns the current simulated time.
 	Now() Time
-	// At schedules fn at the absolute time at (panics if at < Now).
+	// At schedules fn at the absolute time at (panics if at < Now). This is
+	// the closure lane — general, but it allocates the closure; hot paths
+	// use AtEvent.
 	At(at Time, fn func()) EventID
 	// After schedules fn d after the current time (panics if d < 0).
 	After(d Duration, fn func()) EventID
+	// AtEvent schedules a typed event record at the absolute time at — the
+	// zero-allocation lane. ev.Kind must be registered on the engine (see
+	// HandlerRegistrar); the same past-time rules as At apply.
+	AtEvent(at Time, ev Event) EventID
+	// AfterEvent schedules a typed event record d after the current time.
+	AfterEvent(d Duration, ev Event) EventID
 	// Cancel prevents a scheduled event from running; cancelling a fired or
-	// zero EventID is a no-op. Cross-partition events are not cancellable
-	// (their Scheduler returns the zero EventID).
+	// zero EventID is a no-op. Cross-partition events are not cancellable:
+	// their Scheduler returns the zero EventID, and cancelling a non-zero ID
+	// through a Cross scheduler is recorded as a failed cancel (see
+	// ParallelEngine.FailedCrossCancels) rather than silently ignored.
 	Cancel(id EventID)
 }
 
@@ -43,7 +53,9 @@ type Runner interface {
 
 // Compile-time interface checks.
 var (
-	_ Runner    = (*Engine)(nil)
-	_ Scheduler = (*Partition)(nil)
-	_ Scheduler = crossScheduler{}
+	_ Runner           = (*Engine)(nil)
+	_ Scheduler        = (*Partition)(nil)
+	_ Scheduler        = crossScheduler{}
+	_ HandlerRegistrar = (*Engine)(nil)
+	_ HandlerRegistrar = (*ParallelEngine)(nil)
 )

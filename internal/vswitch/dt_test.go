@@ -135,6 +135,7 @@ func TestMixedRateUplink(t *testing.T) {
 	// to store-and-forward for 1G->10G (underrun), and traffic still flows.
 	params := Gigabit1GShallow("tor", 4)
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	sw, err := New(eng, params)
 	if err != nil {
 		t.Fatal(err)

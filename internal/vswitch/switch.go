@@ -36,6 +36,7 @@ type qpkt struct {
 
 // outPort is the egress side of one switch port.
 type outPort struct {
+	idx      int // port index, the Obj payload of this port's typed events
 	link     *link.Link
 	occupied int // per-output buffer occupancy (ArchDropTail)
 	// voq[i] is the virtual output queue from input i (ArchVOQ); fifo is the
@@ -118,7 +119,7 @@ func New(sched sim.Scheduler, params Params) (*Switch, error) {
 		sw.in[i] = inPort{sw: sw, index: i}
 	}
 	for i := range sw.out {
-		op := &outPort{wakeAt: sim.Never}
+		op := &outPort{idx: i, wakeAt: sim.Never}
 		if params.Arch == ArchVOQ {
 			op.voq = make([][]qpkt, params.Ports)
 		}
@@ -329,14 +330,14 @@ func (s *Switch) dispatch(op *outPort) {
 	}
 
 	if chosen == nil {
-		// Nothing eligible yet; wake when the earliest head matures.
+		// Nothing eligible yet; wake when the earliest head matures. Typed
+		// event: Arg carries the eligibility time this wake was armed for,
+		// so a superseded wake (an earlier head arrived meanwhile) can tell
+		// it no longer owns op.wakeAt.
 		if nextEligible < op.wakeAt {
 			op.wakeAt = nextEligible
-			s.sched.At(nextEligible, func() {
-				if op.wakeAt == nextEligible {
-					op.wakeAt = sim.Never
-				}
-				s.dispatch(op)
+			s.sched.AtEvent(nextEligible, sim.Event{
+				Kind: sim.EvSwitchWake, Tgt: s, Obj: uint32(op.idx), Arg: uint64(nextEligible),
 			})
 		}
 		return
@@ -359,8 +360,27 @@ func (s *Switch) dispatch(op *outPort) {
 	if wake < now {
 		wake = now
 	}
-	s.sched.At(wake, func() {
+	s.sched.AtEvent(wake, sim.Event{Kind: sim.EvSwitchTxDone, Tgt: s, Obj: uint32(op.idx)})
+}
+
+// RegisterEventHandlers installs this package's typed-event handlers on r
+// (cascading to the link package's, which switch egress depends on).
+// core.New registers every model package at wiring time; tests that drive an
+// engine directly must call this before traffic flows.
+func RegisterEventHandlers(r sim.HandlerRegistrar) {
+	link.RegisterEventHandlers(r)
+	r.RegisterHandler(sim.EvSwitchTxDone, func(_ sim.Time, ev sim.Event) {
+		s := ev.Tgt.(*Switch)
+		op := s.out[ev.Obj]
 		op.busy = false
+		s.dispatch(op)
+	})
+	r.RegisterHandler(sim.EvSwitchWake, func(_ sim.Time, ev sim.Event) {
+		s := ev.Tgt.(*Switch)
+		op := s.out[ev.Obj]
+		if op.wakeAt == sim.Time(ev.Arg) {
+			op.wakeAt = sim.Never
+		}
 		s.dispatch(op)
 	})
 }

@@ -22,6 +22,7 @@ type rig struct {
 func newRig(t *testing.T, params Params) *rig {
 	t.Helper()
 	eng := sim.NewEngine()
+	RegisterEventHandlers(eng)
 	sw, err := New(eng, params)
 	if err != nil {
 		t.Fatal(err)
