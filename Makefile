@@ -14,6 +14,11 @@ BENCH_EVENTS ?= 100000
 # default; raise it locally for deeper exploration.
 FUZZTIME ?= 10s
 
+# Wall-clock budget for the simlint suite inside `make check`: the lint gate
+# must never quietly eat the edit-compile loop. `make lint` itself runs
+# unbudgeted (first runs pay `go list -export` compilation of the tree).
+LINT_BUDGET ?= 120s
+
 .PHONY: build test vet fmt-check lint race check cover bench bench-json fuzz-smoke
 
 build:
@@ -32,9 +37,12 @@ fmt-check:
 
 # simlint: the custom go/analysis suite enforcing the determinism and
 # scheduler contracts (see internal/analysis and DESIGN.md). Covers test
-# files; zero findings is a merge gate.
+# files; zero unsuppressed findings is a merge gate. Writes the
+# machine-readable findings report (suppressed findings included) and the
+# per-package serialization-readiness report — both uploaded by CI as the
+# checkpoint/restore worklist (ROADMAP item 5).
 lint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -json LINT_findings.json -readiness STATE_readiness.json ./...
 
 # Race-check the concurrency-bearing packages (the parallel engine and the
 # partitioned cluster). Much faster than racing the whole tree; `make check`
@@ -53,7 +61,7 @@ fuzz-smoke:
 # package.
 check:
 	$(GO) vet ./...
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -budget $(LINT_BUDGET) ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 

@@ -54,6 +54,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	pkg         *Package // the loaded package, for call-graph reuse
 	diagnostics []Diagnostic
 }
 
@@ -69,20 +70,27 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 }
 
 // A Finding is a resolved, position-stamped diagnostic ready for printing.
+// Suppressed findings (covered by a //simlint:allow directive) are carried
+// through so the machine-readable report can show them; only unsuppressed
+// findings gate a lint run.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Run applies the analyzers to one loaded package, filters findings through
-// the //simlint:allow suppressions collected from the package's comments,
-// and appends any malformed suppression comments as findings of their own
-// (analyzer name "simlint").
+// Run applies the analyzers to one loaded package and resolves findings
+// against the //simlint:allow suppressions collected from the package's
+// comments: a covered finding comes back with Suppressed set, an uncovered
+// one gates the run. Malformed suppression comments, and well-formed ones
+// that suppressed nothing any analyzer in this run could have produced
+// (stale suppressions — see staleEntries), are appended as findings of the
+// framework itself (analyzer name "simlint").
 func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	sup := collectSuppressions(pkg.Fset, pkg.Files)
 	var out []Finding
@@ -93,18 +101,24 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			pkg:      pkg,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 		for _, d := range pass.diagnostics {
-			if sup.allows(pkg.Fset, d.Pos, a.Name) {
-				continue
-			}
-			out = append(out, Finding{Analyzer: a.Name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+			out = append(out, Finding{
+				Analyzer:   a.Name,
+				Pos:        pkg.Fset.Position(d.Pos),
+				Message:    d.Message,
+				Suppressed: sup.allows(pkg.Fset, d.Pos, a.Name),
+			})
 		}
 	}
 	for _, d := range sup.malformed {
+		out = append(out, Finding{Analyzer: "simlint", Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+	}
+	for _, d := range sup.staleEntries(analyzers) {
 		out = append(out, Finding{Analyzer: "simlint", Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
 	}
 	sortFindings(out)

@@ -36,7 +36,9 @@ func TestPackageClassification(t *testing.T) {
 }
 
 // The acceptance gate in test form: the whole repository, test files
-// included, carries zero simlint findings.
+// included, carries zero unsuppressed simlint findings. Suppressed findings
+// are expected (they are why //simlint:allow exists) and surface in the
+// machine-readable report instead.
 func TestRepoIsLintClean(t *testing.T) {
 	loader, err := sharedLoader()
 	if err != nil {
@@ -55,6 +57,9 @@ func TestRepoIsLintClean(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
 			t.Error(f.String())
 		}
 	}

@@ -1,0 +1,120 @@
+package analysis
+
+import "testing"
+
+// loadCallGraph loads the synthetic fixture and builds its graph once per
+// test (the loader itself is shared).
+func loadCallGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/callgraph", "diablo/internal/link/cgfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg.CallGraph()
+}
+
+func calleeNames(n *FuncNode) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range n.Callees {
+		out[funcLabel(c.Fn)] = true
+	}
+	return out
+}
+
+func TestCallGraphDirectCalls(t *testing.T) {
+	g := loadCallGraph(t)
+	top := g.NodeByName("Top")
+	if top == nil {
+		t.Fatal("no node for Top")
+	}
+	if !calleeNames(top)["middle"] {
+		t.Errorf("Top callees = %v, want middle", calleeNames(top))
+	}
+	if top.Unknown {
+		t.Error("Top marked Unknown; all its calls resolve in-package")
+	}
+	mid := g.NodeByName("middle")
+	if !calleeNames(mid)["Node.bump"] {
+		t.Errorf("middle callees = %v, want Node.bump", calleeNames(mid))
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	g := loadCallGraph(t)
+	tv := g.NodeByName("TakesValue")
+	if !calleeNames(tv)["Node.bump"] {
+		t.Errorf("TakesValue callees = %v, want Node.bump (method value binds an edge)", calleeNames(tv))
+	}
+}
+
+func TestCallGraphInterfaceDispatchIsConservative(t *testing.T) {
+	g := loadCallGraph(t)
+	d := g.NodeByName("Dispatch")
+	names := calleeNames(d)
+	if !names["stepA.step"] || !names["stepB.step"] {
+		t.Errorf("Dispatch callees = %v, want both in-package step implementations", names)
+	}
+	if !d.Unknown {
+		t.Error("Dispatch not marked Unknown: interface dispatch must keep the conservative bit")
+	}
+}
+
+func TestCallGraphFuncValueIsUnknown(t *testing.T) {
+	g := loadCallGraph(t)
+	n := g.NodeByName("CallsFuncValue")
+	if len(n.Callees) != 0 {
+		t.Errorf("CallsFuncValue callees = %v, want none", calleeNames(n))
+	}
+	if !n.Unknown {
+		t.Error("CallsFuncValue not marked Unknown")
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	g := loadCallGraph(t)
+	top := g.NodeByName("Top")
+	reach := g.Reachable([]*FuncNode{top})
+	for _, name := range []string{"Top", "middle", "Node.bump"} {
+		if _, ok := reach[g.NodeByName(name)]; !ok {
+			t.Errorf("%s not reachable from Top", name)
+		}
+	}
+	if _, ok := reach[g.NodeByName("Isolated")]; ok {
+		t.Error("Isolated reachable from Top")
+	}
+	if pred := reach[g.NodeByName("middle")]; pred == nil || funcLabel(pred.Fn) != "Top" {
+		t.Errorf("middle's recorded predecessor = %v, want Top", pred)
+	}
+}
+
+func TestCallGraphTransitiveWrites(t *testing.T) {
+	g := loadCallGraph(t)
+	writes := g.TransitiveWrites(g.NodeByName("Top"))
+	found := false
+	for _, w := range writes {
+		if w.Owner.Obj().Name() == "Node" && w.Field.Name() == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("TransitiveWrites(Top) = %v entries, want the Node.counter write two calls down", len(writes))
+	}
+	if len(g.TransitiveWrites(g.NodeByName("Isolated"))) != 0 {
+		t.Error("Isolated has transitive writes")
+	}
+}
+
+func TestCallGraphOwnedStructs(t *testing.T) {
+	g := loadCallGraph(t)
+	owned := g.OwnedStructs()
+	if len(owned) != 1 || owned[0].Obj().Name() != "Node" {
+		t.Fatalf("OwnedStructs = %v, want exactly Node", owned)
+	}
+	if root := g.OwnershipRoot(owned[0]); root == nil || root.Name() != "sched" {
+		t.Errorf("OwnershipRoot(Node) = %v, want sched", root)
+	}
+}

@@ -57,7 +57,7 @@ func runCrosslint(pass *Pass) error {
 					return true
 				}
 				switch name {
-				case "Send", "Cross":
+				case "Send", "SendEvent", "Cross":
 					pass.Reportf(n.Pos(),
 						"direct cross-partition %s call in model code: deliveries to another "+
 							"partition go through the Cross scheduler wired in by core", name)
@@ -77,7 +77,12 @@ func runCrosslint(pass *Pass) error {
 // not wired with — on a partitioned run that is a write into another
 // partition's event queue outside the barrier protocol. (Identity is
 // compared per variable/field object: l.sched vs l.deliver are different,
-// successive uses of l.sched are the same.)
+// successive uses of l.sched are the same.) The typed lane (Scheduler API
+// v2) is held to the same rule: an AtEvent/AfterEvent/SendEvent record
+// enqueued through a foreign scheduler is a cross-partition send exactly
+// like a closure — the record crosses the barrier even though no func value
+// does. Object-granularity ownership of the record's Tgt is ownlint's job;
+// here identity of the scheduling surface is what's checked.
 func checkForeignSchedulerInClosure(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr) {
 	recvObj := schedulerObj(pass, sel.X)
 	if recvObj == nil {
@@ -102,7 +107,7 @@ func checkForeignSchedulerInClosure(pass *Pass, call *ast.CallExpr, sel *ast.Sel
 				return true
 			}
 			switch name {
-			case "At", "After", "Send", "Cancel":
+			case "At", "After", "AtEvent", "AfterEvent", "Send", "SendEvent", "Cancel":
 			default:
 				return true
 			}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestOwnlintFixture(t *testing.T) {
+	RunFixture(t, Ownlint, "testdata/src/ownlint", "diablo/internal/vswitch/ownfixture")
+}
+
+func TestOwnlintSilentInHarnessPackages(t *testing.T) {
+	// core wires partitions together; touching many objects is its job.
+	RunFixture(t, Ownlint, "testdata/src/scope_harness", "diablo/internal/core/fixture")
+}
+
+func TestOwnlintSilentOutsideModelPackages(t *testing.T) {
+	RunFixture(t, Ownlint, "testdata/src/scope_nonmodel", "diablo/internal/metrics/fixture")
+}

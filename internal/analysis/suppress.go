@@ -21,12 +21,16 @@ const suppressPrefix = "simlint:allow"
 type allowEntry struct {
 	analyzer string
 	pos      token.Pos
+	used     bool // did this entry suppress at least one diagnostic?
 }
 
 // suppressions indexes every well-formed allow comment by file and line.
 type suppressions struct {
-	// byLine maps filename -> line -> entries allowed at that line.
-	byLine    map[string]map[int][]allowEntry
+	// byLine maps filename -> line -> entries allowed at that line. Both
+	// lines of an entry's window point at the same *allowEntry, so usage
+	// tracking sees one entry, not two.
+	byLine    map[string]map[int][]*allowEntry
+	entries   []*allowEntry
 	malformed []Diagnostic
 }
 
@@ -45,7 +49,7 @@ func knownAnalyzer(name string) bool {
 }
 
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]allowEntry)}
+	s := &suppressions{byLine: make(map[string]map[int][]*allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -78,10 +82,11 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 				p := fset.Position(c.Pos())
 				lines := s.byLine[p.Filename]
 				if lines == nil {
-					lines = make(map[int][]allowEntry)
+					lines = make(map[int][]*allowEntry)
 					s.byLine[p.Filename] = lines
 				}
-				e := allowEntry{analyzer: fields[0], pos: c.Pos()}
+				e := &allowEntry{analyzer: fields[0], pos: c.Pos()}
+				s.entries = append(s.entries, e)
 				lines[p.Line] = append(lines[p.Line], e)
 				lines[p.Line+1] = append(lines[p.Line+1], e)
 			}
@@ -91,13 +96,54 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 }
 
 // allows reports whether a finding of the named analyzer at pos is covered
-// by a suppression comment.
+// by a suppression comment, marking the covering entry as used.
 func (s *suppressions) allows(fset *token.FileSet, pos token.Pos, analyzer string) bool {
 	p := fset.Position(pos)
 	for _, e := range s.byLine[p.Filename][p.Line] {
 		if e.analyzer == analyzer || e.analyzer == "all" {
+			e.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// staleEntries reports the suppressions that could not have suppressed
+// anything: after the given analyzers ran, the entry covered no diagnostic.
+// A directive that suppresses nothing is worse than dead weight — it reads
+// as "a finding fires here" when none does, and it would silently mask a
+// future, unrelated finding on the same line. Staleness is only decidable
+// when the suppressed analyzer actually ran: a partial -run invocation says
+// nothing about the others, and an "all" entry is judged only against the
+// full suite.
+func (s *suppressions) staleEntries(ran []*Analyzer) []Diagnostic {
+	names := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		names[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range All() {
+		if !names[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		if e.analyzer == "all" && !fullSuite {
+			continue
+		}
+		if e.analyzer != "all" && !names[e.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos: e.pos,
+			Message: "stale suppression: no " + e.analyzer +
+				" finding fires here; remove the //simlint:allow directive",
+		})
+	}
+	return out
 }

@@ -42,3 +42,54 @@ func TestMalformedSuppressionsReported(t *testing.T) {
 		}
 	}
 }
+
+// A well-formed suppression that covers no finding is itself a finding —
+// but only when the analyzer it names actually ran, and "all" entries only
+// under the full suite.
+func TestStaleSuppressionsReported(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/stalesuppress", "diablo/internal/nic/stalefixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stale := func(analyzers []*Analyzer) []Finding {
+		t.Helper()
+		findings, err := Run(pkg, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Finding
+		for _, f := range findings {
+			if f.Suppressed {
+				continue // the consumed time.Now suppression
+			}
+			if !strings.Contains(f.Message, "stale suppression") {
+				t.Errorf("unexpected finding: %s", f)
+				continue
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+
+	// Single-analyzer run: only the detlint entry is decidable; the unused
+	// "all" entry needs the full suite.
+	if got := stale([]*Analyzer{Detlint}); len(got) != 1 ||
+		!strings.Contains(got[0].Message, "no detlint finding fires here") {
+		t.Errorf("detlint-only run: stale findings = %v, want one detlint stale entry", got)
+	}
+
+	// Full suite: the "all" entry is stale too.
+	if got := stale(All()); len(got) != 2 {
+		t.Errorf("full-suite run: %d stale findings %v, want 2", len(got), got)
+	}
+
+	// A run of an unrelated analyzer says nothing about detlint entries.
+	if got := stale([]*Analyzer{Unitlint}); len(got) != 0 {
+		t.Errorf("unitlint-only run: stale findings = %v, want none", got)
+	}
+}

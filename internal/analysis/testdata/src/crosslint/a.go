@@ -16,6 +16,11 @@ func sends(p *sim.Partition, at sim.Time) { // want `cross-partition machinery \
 	p.Send(1, at, func() {}) // want `direct cross-partition Send call`
 }
 
+func sendsTyped(p *sim.Partition, at sim.Time) { // want `cross-partition machinery \(sim\.Partition\)`
+	// The typed lane crosses the barrier exactly like the closure lane.
+	p.SendEvent(1, at, sim.Event{}) // want `direct cross-partition SendEvent call`
+}
+
 type relay struct {
 	local  sim.Scheduler
 	remote sim.Scheduler
@@ -30,6 +35,20 @@ func (r *relay) leak(d sim.Duration) {
 func (r *relay) selfReschedule(d sim.Duration) {
 	r.local.After(d, func() {
 		r.local.After(d, func() {}) // rescheduling on the same scheduler: no finding
+	})
+}
+
+func (r *relay) leakTyped(d sim.Duration) {
+	// An AfterEvent record enqueued through a foreign scheduler is a
+	// cross-partition send even though no func value crosses.
+	r.local.After(d, func() {
+		r.remote.AfterEvent(d, sim.Event{}) // want `closure scheduled on local schedules through remote`
+	})
+}
+
+func (r *relay) selfRescheduleTyped(d sim.Duration) {
+	r.local.After(d, func() {
+		r.local.AtEvent(sim.Time(0), sim.Event{}) // typed record on the same scheduler: no finding
 	})
 }
 

@@ -1,0 +1,25 @@
+// Package fixture pairs one working suppression with one stale one: the
+// wall-clock read below really fires detlint (so its allow is used), while
+// the second allow covers a line where nothing ever fires. The test asserts
+// the stale finding directly — it lands on the directive's own line, where a
+// want comment cannot live.
+package fixture
+
+import "time"
+
+func measured() time.Time {
+	//simlint:allow detlint fixture: proves a consumed suppression is not stale
+	return time.Now()
+}
+
+func clean() int {
+	//simlint:allow detlint fixture: nothing on this line ever fired
+	return 1
+}
+
+func cleanTyped() int {
+	// An "all" entry on a quiet line is stale too, but only a full-suite run
+	// may say so; the single-analyzer staleness test must not flag it.
+	//simlint:allow all fixture: judged only against the full suite
+	return 2
+}

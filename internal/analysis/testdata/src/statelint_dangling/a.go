@@ -1,0 +1,10 @@
+// Package fixture holds exactly one defect: a //diablo:transient annotation
+// on a struct no checkpoint root reaches, so no audited field ever consumes
+// it. The test asserts the dangling-annotation finding directly (the finding
+// lands on the annotation's own line, where a want comment cannot live).
+package fixture
+
+type unrooted struct {
+	//diablo:transient never audited
+	f func()
+}

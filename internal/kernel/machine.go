@@ -75,7 +75,8 @@ func (c *Config) Validate() error {
 type kwork struct {
 	kind KernelSpanKind
 	d    sim.Duration
-	fn   func()
+	//diablo:transient kernel work drains before the quantum boundary a checkpoint lands on
+	fn func()
 }
 
 // KernelSpanKind classifies kernel-context CPU work for observability
@@ -117,6 +118,7 @@ type MachineStats struct {
 // and its sockets. All methods must be invoked from the simulation's event
 // context (or from a Thread belonging to this machine).
 type Machine struct {
+	//diablo:transient partition wiring; core re-attaches the scheduler on restore
 	eng  sim.Scheduler
 	node packet.NodeID
 	cfg  Config
@@ -139,11 +141,13 @@ type Machine struct {
 	runq       []*Thread
 	lastRun    *Thread
 	inThread   bool // a thread goroutine is executing right now
-	parked     chan struct{}
-	threads    []*Thread
+	//diablo:transient goroutine parking plumbing; recreated when threads respawn on restore
+	parked  chan struct{}
+	threads []*Thread
 
 	// Network state.
-	dev       *nic.NIC
+	dev *nic.NIC
+	//diablo:transient routing strategy; re-installed by topology wiring on restore
 	router    Router
 	qdisc     []*packet.Packet
 	udpSocks  map[packet.Port]*UDPSocket
@@ -162,10 +166,13 @@ type Machine struct {
 
 	// OnKernelSpan fires when a kernel-context work item starts executing on
 	// the CPU, with its classification and duration.
+	//diablo:transient observability hook; re-registered by the harness on restore
 	OnKernelSpan func(kind KernelSpanKind, start sim.Time, d sim.Duration)
 	// OnSyscallSpan fires after a thread's syscall CPU charge completes.
+	//diablo:transient observability hook; re-registered by the harness on restore
 	OnSyscallSpan func(thread string, start sim.Time, d sim.Duration)
 	// OnPacketDelivered fires when a received packet reaches socket demux.
+	//diablo:transient observability hook; re-registered by the harness on restore
 	OnPacketDelivered func(pkt *packet.Packet, at sim.Time)
 }
 

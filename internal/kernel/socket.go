@@ -50,17 +50,20 @@ type EpollEvent struct {
 }
 
 type epollItem struct {
+	//diablo:transient socket identity; restore re-registers sockets by fd into fresh items
 	sock     Pollable
 	interest EpollEvents
-	data     any
-	inReady  bool
+	//diablo:transient application cookie; reattached by the app when epoll state replays
+	data    any
+	inReady bool
 }
 
 // Epoll is a level-triggered readiness multiplexer, the syscall interface
 // the paper contrasts with blocking pthread sockets (§4.1): applications
 // using it "proactively poll the kernel for available data".
 type Epoll struct {
-	m       *Machine
+	m *Machine
+	//diablo:transient keyed by socket identity; rebuilt from fd registrations on restore
 	items   map[Pollable]*epollItem
 	ready   []*epollItem
 	waiters waitQueue
@@ -183,8 +186,9 @@ const WaitForever simDuration = -1
 
 // udpDgram is one reassembled datagram in a socket's receive queue.
 type udpDgram struct {
-	from    packet.Addr
-	bytes   int
+	from  packet.Addr
+	bytes int
+	//diablo:transient opaque app payload; needs a concrete-type registry (ROADMAP item 5)
 	payload any
 }
 
@@ -612,7 +616,8 @@ type TCPSocket struct {
 	connectQ waitQueue
 	watchers []*Epoll
 	done     bool
-	err      error
+	//diablo:transient one of a small closed error set; encodes as an errno-style code
+	err error
 }
 
 func newTCPSocket(m *Machine, conn *tcp.Conn, key connKey) *TCPSocket {

@@ -30,7 +30,8 @@ type Thread struct {
 	m    *Machine
 	name string
 
-	state     threadState
+	state threadState
+	//diablo:transient goroutine handshake channel; recreated when the thread respawns on restore
 	resume    chan struct{}
 	remaining sim.Duration // CPU time owed before app code may continue
 	sliceLeft sim.Duration

@@ -115,6 +115,8 @@ type TCPHdr struct {
 }
 
 // Packet is one simulated frame in flight.
+//
+//diablo:checkpoint-root
 type Packet struct {
 	Src, Dst Addr
 	Proto    Proto
@@ -134,6 +136,7 @@ type Packet struct {
 
 	// Payload is an opaque application reference (e.g. a request object)
 	// used by endpoints to reconstruct messages without simulating bytes.
+	//diablo:transient opaque app payload; needs a concrete-type registry (ROADMAP item 5)
 	Payload any
 
 	// Instrumentation.

@@ -29,7 +29,10 @@ type oooSeg struct {
 }
 
 // Conn is one TCP connection endpoint.
+//
+//diablo:checkpoint-root
 type Conn struct {
+	//diablo:transient environment adapter; the owning socket re-binds it on restore
 	env Env
 	cfg Config
 
@@ -77,17 +80,23 @@ type Conn struct {
 	oooSegs   map[uint32]oooSeg
 	oooBytes  int
 	rcvBounds []Boundary
-	ready     []any // completed messages awaiting Read
-	peerFin   bool
+	//diablo:transient opaque app messages; need a concrete-type registry (ROADMAP item 5)
+	ready   []any // completed messages awaiting Read
+	peerFin bool
 
 	// Callbacks (any may be nil).
+	//diablo:transient socket-layer hook; re-registered by the owning socket on restore
 	OnConnected func()
-	OnReadable  func()
-	OnWritable  func()
-	OnClosed    func(err error)
+	//diablo:transient socket-layer hook; re-registered by the owning socket on restore
+	OnReadable func()
+	//diablo:transient socket-layer hook; re-registered by the owning socket on restore
+	OnWritable func()
+	//diablo:transient socket-layer hook; re-registered by the owning socket on restore
+	OnClosed func(err error)
 
 	Stats Stats
-	err   error
+	//diablo:transient one of a small closed error set; encodes as an errno-style code
+	err error
 }
 
 func newConn(env Env, cfg Config, local, remote packet.Addr) (*Conn, error) {

@@ -131,7 +131,8 @@ func (s State) String() string {
 // the message Payload is complete when the receiver's in-order stream
 // reaches EndSeq.
 type Boundary struct {
-	EndSeq  uint32
+	EndSeq uint32
+	//diablo:transient opaque app message; needs a concrete-type registry (ROADMAP item 5)
 	Payload any
 }
 
