@@ -19,13 +19,20 @@ FUZZTIME ?= 10s
 # unbudgeted (first runs pay `go list -export` compilation of the tree).
 LINT_BUDGET ?= 120s
 
-.PHONY: build test vet fmt-check lint race check cover bench bench-json fuzz-smoke
+.PHONY: build test vet fmt-check lint race check cover bench bench-json fuzz-smoke test-slabdebug
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The packet-lifecycle diagnostic build: -tags slabdebug arms the slab
+# registry (use-after-release and double-release panics name their Get and
+# Release call sites). The whole tree must pass under the tag — the registry
+# may change allocation counts but never simulation results.
+test-slabdebug:
+	$(GO) test -tags slabdebug ./...
 
 vet:
 	$(GO) vet ./...

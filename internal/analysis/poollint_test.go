@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+// The fixture's import path puts it in a model package (under
+// diablo/internal/kernel): sync.Pool fires wherever the type appears, a Get
+// with no reachable Release fires (directly and through a helper), and the
+// balanced / hand-off / suppressed shapes stay silent.
+func TestPoollintFixture(t *testing.T) {
+	RunFixture(t, Poollint, "testdata/src/poollint", "diablo/internal/kernel/poolfixture")
+}
+
+// The same shapes are exempt inside the pool's own package tree.
+func TestPoollintExemptFixture(t *testing.T) {
+	RunFixture(t, Poollint, "testdata/src/poollint_exempt", "diablo/internal/packet/poolfixture")
+}

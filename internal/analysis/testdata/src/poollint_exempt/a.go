@@ -1,0 +1,21 @@
+// Package fixture proves poollint's scoping: the same shapes that fire in a
+// model package stay silent when the import path sits under
+// diablo/internal/packet — the pool's own package implements the lifecycle
+// and is exempt from both rules.
+package fixture
+
+import (
+	"sync"
+
+	"diablo/internal/packet"
+)
+
+type recycler struct {
+	spare sync.Pool // exempt: this is the pool package's own house
+	pool  *packet.Pool
+}
+
+func (r *recycler) probe() int {
+	pkt := r.pool.Get() // exempt: no Release reachable, but we implement the ledger
+	return pkt.PayloadBytes
+}

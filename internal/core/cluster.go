@@ -106,6 +106,13 @@ type Cluster struct {
 	// semantics (0 when not collapsed).
 	haltQuantum sim.Duration
 
+	// pools[i] is partition i's packet slab pool (nil slice = unpooled heap
+	// mode). Every component wired into partition i allocates and releases
+	// through pools[i], so no pool is ever touched by two workers; packets
+	// crossing partitions are released into the releasing partition's pool
+	// and only the summed stats balance (see packet.PoolStats).
+	pools []*packet.Pool
+
 	// Fault-layer state: edges fire on worker goroutines in a partitioned
 	// run, so recording is mutex-guarded; FaultEdges sorts before returning.
 	faultMu    sync.Mutex
@@ -120,6 +127,7 @@ type options struct {
 	sequential bool
 	quantum    sim.Duration
 	faults     *fault.Plan
+	unpooled   bool
 }
 
 // WithPartitions forces the partitioned engine with n OS-level workers
@@ -149,6 +157,14 @@ func WithSequentialEngine() Option {
 // even where adaptive selection would collapse to sequential.
 func WithQuantum(d sim.Duration) Option {
 	return func(o *options) { o.quantum = d }
+}
+
+// WithoutPacketPools disables the per-partition packet slab pools: every
+// packet is a fresh heap allocation and releases are no-ops. Results are
+// byte-identical to the pooled run (the invariance gates assert this); the
+// knob exists for that comparison and for allocation-profile baselines.
+func WithoutPacketPools() Option {
+	return func(o *options) { o.unpooled = true }
 }
 
 // New builds and wires a cluster.
@@ -246,6 +262,21 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 
 	fabric := topo.Racks() // partition holding array + DC switches
 
+	// Packet slab pools, one per partition (see the pools field). Components
+	// get the pool of the partition whose event context touches them:
+	// machines, NICs, ToRs and rack-side link transmit paths use their rack's
+	// pool; the fabric switches and their egress links use the fabric's.
+	var pool func(part int) *packet.Pool
+	if c.opts.unpooled {
+		pool = func(int) *packet.Pool { return nil }
+	} else {
+		c.pools = make([]*packet.Pool, partitions)
+		for i := range c.pools {
+			c.pools[i] = packet.NewPool()
+		}
+		pool = func(part int) *packet.Pool { return c.pools[part] }
+	}
+
 	// Build switches.
 	torPorts := tp.ServersPerRack
 	if multiRack {
@@ -259,6 +290,7 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		sw.SetPool(pool(r))
 		c.Tors = append(c.Tors, sw)
 	}
 	if multiRack {
@@ -274,6 +306,7 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
+			sw.SetPool(pool(fabric))
 			c.Arrays = append(c.Arrays, sw)
 		}
 	}
@@ -285,6 +318,7 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		sw.SetPool(pool(fabric))
 		c.DC = sw
 	}
 
@@ -303,15 +337,20 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 		}
 
 		up := link.New(rsched, tor.Input(idx), cfg.ToR.LinkRate, cfg.CableProp)
+		up.SetPool(pool(rack))
 		dev, err := nic.New(rsched, serverCfg.NIC, up)
 		if err != nil {
 			return nil, err
 		}
+		dev.SetPool(pool(rack))
 		m, err := kernel.New(rsched, node, serverCfg, topo, dev, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		tor.AttachOutput(idx, link.New(rsched, dev, cfg.ToR.LinkRate, cfg.CableProp))
+		m.SetPool(pool(rack))
+		down := link.New(rsched, dev, cfg.ToR.LinkRate, cfg.CableProp)
+		down.SetPool(pool(rack))
+		tor.AttachOutput(idx, down)
 		c.Machines = append(c.Machines, m)
 
 		if cfg.Daemon.Period > 0 && cfg.Daemon.BurstInstr > 0 {
@@ -332,10 +371,12 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 
 			up := link.New(sched(r), arr.Input(localIdx), cfg.Array.LinkRate, cfg.CableProp)
 			up.SetDeliverySched(cross(r, fabric))
+			up.SetPool(pool(r)) // transmit side (fault drops) runs on rack r
 			c.Tors[r].AttachOutput(upPort, up)
 
 			down := link.New(sched(fabric), c.Tors[r].Input(upPort), cfg.Array.LinkRate, cfg.CableProp)
 			down.SetDeliverySched(cross(fabric, r))
+			down.SetPool(pool(fabric))
 			arr.AttachOutput(localIdx, down)
 		}
 	}
@@ -344,8 +385,12 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 		upPort := topo.ArrayUplinkPort()
 		fsched := sched(fabric)
 		for a := 0; a < topo.Arrays(); a++ {
-			c.Arrays[a].AttachOutput(upPort, link.New(fsched, c.DC.Input(a), cfg.DC.LinkRate, cfg.CableProp))
-			c.DC.AttachOutput(a, link.New(fsched, c.Arrays[a].Input(upPort), cfg.DC.LinkRate, cfg.CableProp))
+			up := link.New(fsched, c.DC.Input(a), cfg.DC.LinkRate, cfg.CableProp)
+			up.SetPool(pool(fabric))
+			c.Arrays[a].AttachOutput(upPort, up)
+			down := link.New(fsched, c.Arrays[a].Input(upPort), cfg.DC.LinkRate, cfg.CableProp)
+			down.SetPool(pool(fabric))
+			c.DC.AttachOutput(a, down)
 		}
 	}
 
@@ -499,6 +544,64 @@ func (c *Cluster) Events() uint64 {
 		return e.Executed
 	}
 	return 0
+}
+
+// Pooled reports whether packet slab pooling is active.
+func (c *Cluster) Pooled() bool { return c.pools != nil }
+
+// PacketPoolStats sums the slab-pool counters across every partition pool
+// (all zeros in unpooled mode). Packets migrate between pools — allocated on
+// the creator's partition, released on the consumer's — so only the summed
+// Gets/Releases balance; after ReleaseInFlight the sum's Live() must be zero
+// or packets leaked (the leak-balance gate asserts exactly this).
+func (c *Cluster) PacketPoolStats() packet.PoolStats {
+	var sum packet.PoolStats
+	for _, p := range c.pools {
+		sum.Add(p.Stats())
+	}
+	return sum
+}
+
+// ReleaseInFlight returns every packet stranded mid-flight by a stopped run
+// to the pools: machine qdiscs and kernel work queues, NIC descriptor rings,
+// switch output queues, and the frames carried by still-queued EvPacketHop /
+// EvLoopback events on every engine. Call only after the run has stopped,
+// for leak accounting; the cluster must not run again afterwards.
+func (c *Cluster) ReleaseInFlight() {
+	if c.pools == nil {
+		return
+	}
+	for _, m := range c.Machines {
+		m.ReleaseInFlight()
+		m.NIC().ReleaseInFlight()
+	}
+	for _, sw := range c.Tors {
+		sw.ReleaseInFlight()
+	}
+	for _, sw := range c.Arrays {
+		sw.ReleaseInFlight()
+	}
+	if c.DC != nil {
+		c.DC.ReleaseInFlight()
+	}
+	// Frames in flight on a wire live only in the event queues. Release each
+	// engine's into that partition's pool (the releaser's-pool rule).
+	release := func(p *packet.Pool) func(sim.Event) {
+		return func(ev sim.Event) {
+			if ev.Kind == sim.EvPacketHop || ev.Kind == sim.EvLoopback {
+				p.Release(ev.Ref.(*packet.Packet))
+			}
+		}
+	}
+	if c.pe != nil {
+		for i := 0; i < c.pe.Partitions(); i++ {
+			c.pe.Partition(i).ForEachPending(release(c.pools[i]))
+		}
+		return
+	}
+	if e, ok := c.eng.(*sim.Engine); ok {
+		e.ForEachPending(release(c.pools[0]))
+	}
 }
 
 // SwitchDrops sums dropped packets across all switches.

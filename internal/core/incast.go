@@ -45,6 +45,8 @@ type IncastConfig struct {
 	// Faults is an optional fault schedule injected into the run (nil =
 	// healthy cluster). See package fault.
 	Faults *fault.Plan
+	// Unpooled disables the packet slab pools (see core.WithoutPacketPools).
+	Unpooled bool
 	// OnCluster, if set, observes the wired cluster before the run starts —
 	// the hook for attaching tracers and custom instrumentation.
 	OnCluster func(*Cluster)
@@ -83,7 +85,11 @@ func RunIncast(cfg IncastConfig) (incast.Result, error) {
 	if cfg.MinRTO > 0 {
 		cc.Server.TCP.MinRTO = cfg.MinRTO
 	}
-	cluster, err := New(cc, WithPartitions(cfg.Partitions), WithFaults(cfg.Faults))
+	copts := []Option{WithPartitions(cfg.Partitions), WithFaults(cfg.Faults)}
+	if cfg.Unpooled {
+		copts = append(copts, WithoutPacketPools())
+	}
+	cluster, err := New(cc, copts...)
 	if err != nil {
 		return incast.Result{}, err
 	}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"diablo/internal/fault"
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+// poolAudit captures a run's cluster, closes the packet ledger after the run
+// and returns the summed pool stats.
+func poolAudit(t *testing.T, run func(onCluster func(*Cluster))) (gets, releases uint64, live int64) {
+	t.Helper()
+	var cluster *Cluster
+	run(func(c *Cluster) { cluster = c })
+	if cluster == nil {
+		t.Fatal("run did not observe its cluster")
+	}
+	if !cluster.Pooled() {
+		t.Fatal("cluster is not pooled")
+	}
+	cluster.ReleaseInFlight()
+	st := cluster.PacketPoolStats()
+	return st.Gets, st.Releases, st.Live()
+}
+
+// TestMemcachedPacketLeakBalance is the lifecycle ledger gate on the UDP
+// request/response path: across a full memcached run every pool Get must be
+// matched by exactly one Release once the halted cluster's queued and
+// in-flight packets are swept back.
+func TestMemcachedPacketLeakBalance(t *testing.T) {
+	gets, releases, live := poolAudit(t, func(onCluster func(*Cluster)) {
+		cfg := smallMemcached()
+		cfg.RequestsPerClient = 15
+		cfg.OnCluster = onCluster
+		if _, err := RunMemcached(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if gets == 0 {
+		t.Fatal("pooled memcached run allocated no packets from the pools")
+	}
+	if live != 0 || gets != releases {
+		t.Fatalf("packet leak: %d gets, %d releases, %d live", gets, releases, live)
+	}
+}
+
+// TestFaultedIncastPacketLeakBalance runs the same ledger gate over the TCP
+// incast collapse under a lossy fault window: retransmissions, switch-buffer
+// drops and fault-layer drops all exercise release sites the healthy UDP
+// path never reaches.
+func TestFaultedIncastPacketLeakBalance(t *testing.T) {
+	var drops uint64
+	gets, releases, live := poolAudit(t, func(onCluster func(*Cluster)) {
+		cfg := DefaultIncast(12)
+		cfg.Iterations = 8
+		cfg.Faults = fault.NewPlan(cfg.Seed).
+			DegradeEdge(0, fault.Down, 0, 600*sim.Second, 0.1, 0)
+		var cluster *Cluster
+		cfg.OnCluster = func(c *Cluster) {
+			cluster = c
+			onCluster(c)
+		}
+		if _, err := RunIncast(cfg); err != nil {
+			t.Fatal(err)
+		}
+		drops = cluster.FaultDrops() + cluster.SwitchDrops()
+	})
+	if gets == 0 {
+		t.Fatal("pooled incast run allocated no packets from the pools")
+	}
+	if drops == 0 {
+		t.Fatal("faulted incast dropped nothing; the drop release sites went unexercised")
+	}
+	if live != 0 || gets != releases {
+		t.Fatalf("packet leak under faults: %d gets, %d releases, %d live", gets, releases, live)
+	}
+}
+
+// TestPooledManifestInvariance proves the slab pools are result-invisible:
+// at every worker count, the pooled and unpooled runs of the same observed
+// workload must produce byte-identical obs manifests — no normalization,
+// since pooling must not perturb a single observable, engine fields included.
+func TestPooledManifestInvariance(t *testing.T) {
+	ocfg := ObserveConfig{SampleEvery: 2 * sim.Millisecond, TraceEvents: -1}
+	manifest := func(workers int, unpooled bool) []byte {
+		cfg := observedMemcached()
+		cfg.Partitions = workers
+		cfg.Unpooled = unpooled
+		_, o, err := RunMemcachedObserved(cfg, ocfg)
+		if err != nil {
+			t.Fatalf("workers=%d unpooled=%v: %v", workers, unpooled, err)
+		}
+		m := o.BuildManifest("pool-invariance", cfg.Seed, nil)
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatalf("workers=%d unpooled=%v: %v", workers, unpooled, err)
+		}
+		return buf.Bytes()
+	}
+	for _, w := range []int{1, 2, runtime.NumCPU()} {
+		pooled := manifest(w, false)
+		unpooled := manifest(w, true)
+		if !bytes.Equal(pooled, unpooled) {
+			i := 0
+			for i < len(pooled) && i < len(unpooled) && pooled[i] == unpooled[i] {
+				i++
+			}
+			lo := max(0, i-80)
+			t.Errorf("workers=%d: pooled manifest diverges from unpooled near byte %d:\npooled:   %q\nunpooled: %q",
+				w, i, pooled[lo:min(i+80, len(pooled))], unpooled[lo:min(i+80, len(unpooled))])
+		}
+	}
+}
+
+// TestModelBenchMemcached smoke-tests the model-level benchmark harness: it
+// must count packets, close the pool ledger, and land within the tentpole's
+// allocation budget (allocs per simulated packet ≤ 2, which cmd/benchjson
+// gates against the committed baseline).
+func TestModelBenchMemcached(t *testing.T) {
+	st, err := ModelBenchMemcached(0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets == 0 || st.Events == 0 || st.WallSeconds <= 0 {
+		t.Fatalf("empty measurement: %+v", st)
+	}
+	if !st.Pooled || st.Pool.Gets == 0 {
+		t.Fatalf("bench did not run pooled: %+v", st)
+	}
+	if st.LeakedPackets != 0 {
+		t.Fatalf("bench run leaked %d packets", st.LeakedPackets)
+	}
+	// The slabdebug registry allocates on every Get/Release, so the budget
+	// only means anything in a release build.
+	if !packet.SlabDebug && st.AllocsPerPacket > 2 {
+		t.Fatalf("allocs per simulated packet = %.3f, budget is 2 (mallocs %d over %d packets)",
+			st.AllocsPerPacket, st.Mallocs, st.Packets)
+	}
+	t.Logf("memcached model bench: %d packets, %.0f pkts/s, %.3f allocs/pkt, %d GC cycles",
+		st.Packets, st.PacketsPerSec, st.AllocsPerPacket, st.GCCycles)
+}
+
+// TestModelBenchIncast smoke-tests the TCP-side measurement path.
+func TestModelBenchIncast(t *testing.T) {
+	st, err := ModelBenchIncast(0, false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets == 0 {
+		t.Fatalf("empty measurement: %+v", st)
+	}
+	if st.LeakedPackets != 0 {
+		t.Fatalf("bench run leaked %d packets", st.LeakedPackets)
+	}
+	t.Logf("incast model bench: %d packets, %.0f pkts/s, %.3f allocs/pkt",
+		st.Packets, st.PacketsPerSec, st.AllocsPerPacket)
+}

@@ -67,6 +67,10 @@ type MemcachedConfig struct {
 	// core.WithSequentialEngine). Results are identical either way; the knob
 	// exists for engine A/B measurement and the invariance gates.
 	Sequential bool
+	// Unpooled disables the packet slab pools (see core.WithoutPacketPools).
+	// Results are identical either way; the knob exists for the pooled-vs-
+	// unpooled invariance gate and allocation-profile baselines.
+	Unpooled bool
 	// Seed is the master seed.
 	Seed uint64
 	// Deadline bounds simulated time (0 = auto-estimated).
@@ -184,6 +188,9 @@ func runMemcachedWithTopology(cfg MemcachedConfig, topoParams topology.Params, m
 	copts := []Option{WithPartitions(cfg.Partitions), WithFaults(cfg.Faults)}
 	if cfg.Sequential {
 		copts = append(copts, WithSequentialEngine())
+	}
+	if cfg.Unpooled {
+		copts = append(copts, WithoutPacketPools())
 	}
 	cluster, err := New(cc, copts...)
 	if err != nil {

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"diablo/internal/packet"
+	"diablo/internal/sim"
+)
+
+// ModelBenchStats is one model-level benchmark measurement: a full workload
+// run priced in host resources per *simulated packet*. The engine microbench
+// (EngineComparisonMeasured) prices the scheduler core in isolation; this
+// harness prices the whole model stack — packet construction, TCP/UDP, kernel
+// scheduling, NIC/link/switch hops — which is where the per-packet allocation
+// budget actually gets spent (§4's throughput argument). A simulated packet
+// is one NIC transmit or one loopback delivery; every such packet implies a
+// bounded burst of downstream events (hops, interrupts, softirq batches), so
+// host cost per packet is the stable cross-PR unit.
+type ModelBenchStats struct {
+	Workload string // "memcached" or "incast"
+	Workers  int    // engine worker count (0 = adaptive)
+	Pooled   bool   // packet slab pools enabled
+
+	Packets         uint64       // simulated packets: NIC transmits + loopback deliveries
+	Events          uint64       // engine events executed
+	Simulated       sim.Duration // simulated time covered
+	WallSeconds     float64      // host wall-clock for the run
+	PacketsPerSec   float64      // simulated packets per wall-clock second
+	Mallocs         uint64       // heap allocations during the run (runtime.MemStats delta)
+	AllocsPerPacket float64      // Mallocs / Packets — the tentpole's ≤ 2 target
+	GCCycles        uint32       // completed GC cycles during the run
+	GCPauseNs       uint64       // cumulative stop-the-world pause during the run
+
+	// Pool aggregates the per-partition slab pools after ReleaseInFlight;
+	// LeakedPackets is Gets - Releases, which a balanced lifecycle leaves at
+	// zero. Both are zero on unpooled runs.
+	Pool          packet.PoolStats
+	LeakedPackets int64
+}
+
+// runModelBench wraps one workload execution with the host-side measurement:
+// MemStats deltas (allocations, GC) and wall clock around the run, then the
+// simulated-packet count and pool-balance audit off the captured cluster.
+// The run closure must pass onCluster through to the workload's OnCluster
+// hook and return the simulated elapsed time.
+func runModelBench(workload string, workers int, unpooled bool,
+	run func(onCluster func(*Cluster)) (sim.Duration, error)) (ModelBenchStats, error) {
+	st := ModelBenchStats{Workload: workload, Workers: workers, Pooled: !unpooled}
+	var cluster *Cluster
+	capture := func(c *Cluster) { cluster = c }
+
+	// Settle the heap so the delta prices this run, not the caller's garbage.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now() //simlint:allow detlint host-side self-measurement: wall-clock per simulated packet is the benchmark's output
+	simulated, err := run(capture)
+	wall := time.Since(start).Seconds() //simlint:allow detlint host-side self-measurement (throughput denominator)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return st, err
+	}
+	if cluster == nil {
+		return st, fmt.Errorf("core: %s model bench did not observe its cluster", workload)
+	}
+
+	st.Simulated = simulated
+	st.WallSeconds = wall
+	st.Mallocs = after.Mallocs - before.Mallocs
+	st.GCCycles = after.NumGC - before.NumGC
+	st.GCPauseNs = after.PauseTotalNs - before.PauseTotalNs
+	st.Events = cluster.Events()
+	for _, m := range cluster.Machines {
+		st.Packets += m.NIC().Stats.TxPackets + m.Stats.LoopbackPkts
+	}
+	if wall > 0 {
+		st.PacketsPerSec = float64(st.Packets) / wall
+	}
+	if st.Packets > 0 {
+		st.AllocsPerPacket = float64(st.Mallocs) / float64(st.Packets)
+	}
+	if cluster.Pooled() {
+		// After the halted run, sweep queued/in-flight packets back so the
+		// Gets/Releases ledger closes; anything still live is a real leak.
+		cluster.ReleaseInFlight()
+		st.Pool = cluster.PacketPoolStats()
+		st.LeakedPackets = st.Pool.Live()
+	}
+	return st, nil
+}
+
+// ModelBenchMemcachedConfig is the standard workload behind the memcached
+// model bench: one array (496 nodes, 464 clients) at a reduced request count,
+// sized to finish in seconds while still pushing a few hundred thousand
+// packets through every layer of the stack.
+func ModelBenchMemcachedConfig(workers int, unpooled bool, requests int) MemcachedConfig {
+	cfg := DefaultMemcached()
+	cfg.Arrays = 1
+	if requests > 0 {
+		cfg.RequestsPerClient = requests
+	} else {
+		// Enough traffic that per-node setup (machine construction, prewarmed
+		// stores, client installs) amortizes out of the per-packet figures:
+		// at 100 requests/client the run moves ~95k packets against a ~50k
+		// allocation setup floor.
+		cfg.RequestsPerClient = 100
+	}
+	cfg.Partitions = workers
+	cfg.Unpooled = unpooled
+	return cfg
+}
+
+// ModelBenchMemcached measures one memcached run at the given worker count
+// (0 = adaptive engine selection) and pooling mode. requests <= 0 uses the
+// standard reduced count.
+func ModelBenchMemcached(workers int, unpooled bool, requests int) (ModelBenchStats, error) {
+	cfg := ModelBenchMemcachedConfig(workers, unpooled, requests)
+	return runModelBench("memcached", workers, unpooled, func(onCluster func(*Cluster)) (sim.Duration, error) {
+		cfg.OnCluster = onCluster
+		res, err := RunMemcached(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed, nil
+	})
+}
+
+// ModelBenchIncast measures one TCP incast run (Figure 6a shape) at the given
+// sender count. Incast is single-rack and therefore always sequential; it
+// exercises the TCP segment path and switch-drop release sites the memcached
+// UDP workload barely touches. senders <= 0 uses 16.
+func ModelBenchIncast(workers int, unpooled bool, senders int) (ModelBenchStats, error) {
+	if senders <= 0 {
+		senders = 16
+	}
+	cfg := DefaultIncast(senders)
+	cfg.Iterations = 10
+	cfg.Partitions = workers
+	cfg.Unpooled = unpooled
+	return runModelBench("incast", workers, unpooled, func(onCluster func(*Cluster)) (sim.Duration, error) {
+		cfg.OnCluster = onCluster
+		res, err := RunIncast(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed, nil
+	})
+}

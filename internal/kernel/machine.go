@@ -11,9 +11,10 @@ import (
 )
 
 // Router supplies source routes for outgoing packets (implemented by
-// topology.Topology).
+// topology.Topology). Routes are inline values: computing one is
+// allocation-free.
 type Router interface {
-	Route(src, dst packet.NodeID) []uint8
+	Route(src, dst packet.NodeID) packet.Route
 }
 
 // Config configures one simulated server.
@@ -71,10 +72,25 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// kworkOp selects the continuation of a kernel work item. The per-packet
+// paths (NAPI delivery, TCP transmit) run millions of times per simulated
+// second; carrying the packet plus a fixed op code instead of a capturing
+// closure removes one heap allocation per item.
+type kworkOp uint8
+
+const (
+	kwFn          kworkOp = iota // run fn (cold control paths)
+	kwDeliverNapi                // deliver pkt, then continue the NAPI poll loop
+	kwTransmit                   // transmit pkt (TCP segment / RST output)
+	kwNapiPoll                   // enter the NAPI poll loop (IRQ entry, no pkt)
+)
+
 // kwork is one unit of kernel-context CPU work.
 type kwork struct {
 	kind KernelSpanKind
 	d    sim.Duration
+	op   kworkOp
+	pkt  *packet.Packet
 	//diablo:transient kernel work drains before the quantum boundary a checkpoint lands on
 	fn func()
 }
@@ -129,8 +145,12 @@ type Machine struct {
 	// the fault layer raises it for a bounded window and restores it to 1.
 	slowdown float64
 
-	// CPU executor state.
+	// CPU executor state. kq is a head-indexed FIFO: popping advances kqHead
+	// and the slot storage is reused once the queue drains, so steady-state
+	// kernel work costs no allocations (a naive kq = kq[1:] re-allocates on
+	// every push once the spare capacity is consumed).
 	kq         []kwork
+	kqHead     int
 	kActive    bool
 	kRun       kwork   // the kernel work item executing (valid while kActive)
 	cur        *Thread // thread owning the CPU (may be paused by kernel work)
@@ -138,18 +158,23 @@ type Machine struct {
 	chunkArmed bool
 	chunkStart sim.Time
 	chunkLen   sim.Duration
-	runq       []*Thread
+	runq       []*Thread // head-indexed like kq: context switches allocate nothing
+	runqHead   int
 	lastRun    *Thread
 	inThread   bool // a thread goroutine is executing right now
 	//diablo:transient goroutine parking plumbing; recreated when threads respawn on restore
 	parked  chan struct{}
 	threads []*Thread
 
-	// Network state.
+	// Network state. qdisc is head-indexed like kq. pool is the partition's
+	// packet slab pool (nil = unpooled heap mode); see packet.Pool for the
+	// ownership rules.
 	dev *nic.NIC
 	//diablo:transient routing strategy; re-installed by topology wiring on restore
 	router    Router
+	pool      *packet.Pool
 	qdisc     []*packet.Packet
+	qdiscHead int
 	udpSocks  map[packet.Port]*UDPSocket
 	listeners map[packet.Port]*TCPListener
 	conns     map[connKey]*TCPSocket
@@ -251,6 +276,19 @@ func (m *Machine) Now() sim.Time { return m.eng.Now() }
 // engine, or the machine's partition handle in a parallel run).
 func (m *Machine) Scheduler() sim.Scheduler { return m.eng }
 
+// SetPool installs the partition's packet pool. Installed once at wiring
+// time; a nil pool (the default) keeps plain heap allocation, which is the
+// unpooled comparison mode.
+func (m *Machine) SetPool(p *packet.Pool) { m.pool = p }
+
+// Pool returns the machine's packet pool (nil in unpooled mode).
+func (m *Machine) Pool() *packet.Pool { return m.pool }
+
+// newPacket allocates a zeroed packet from the partition pool. Every packet
+// the machine originates (UDP datagram fragments, TCP segments, RSTs) comes
+// through here so the creator side of the ownership rule has one spelling.
+func (m *Machine) newPacket() *packet.Packet { return m.pool.Get() }
+
 // SetSlowdown sets the straggler factor: every subsequent CPU cost is
 // stretched by f (clamped to >= 1). CPU chunks already in flight complete at
 // their original length, so the window granularity is one scheduler chunk.
@@ -290,6 +328,14 @@ func (m *Machine) kernelWork(kind KernelSpanKind, d sim.Duration, fn func()) {
 	m.scheduleCPU()
 }
 
+// kernelWorkPkt is the closure-free spelling of kernelWork for the fixed
+// per-packet continuations (kwDeliverNapi, kwTransmit): same FIFO, same
+// timing, no capture allocation.
+func (m *Machine) kernelWorkPkt(kind KernelSpanKind, d sim.Duration, op kworkOp, pkt *packet.Packet) {
+	m.kq = append(m.kq, kwork{kind: kind, d: d, op: op, pkt: pkt})
+	m.scheduleCPU()
+}
+
 // scheduleCPU advances the CPU state machine. It is safe to call from any
 // engine-context site; while a thread goroutine is live it defers to the
 // resumeThread continuation.
@@ -298,12 +344,17 @@ func (m *Machine) scheduleCPU() {
 		return
 	}
 	// Kernel work first.
-	if len(m.kq) > 0 {
+	if m.kqHead < len(m.kq) {
 		if m.chunkArmed {
 			m.pauseChunk()
 		}
-		w := m.kq[0]
-		m.kq = m.kq[1:]
+		w := m.kq[m.kqHead]
+		m.kq[m.kqHead] = kwork{}
+		m.kqHead++
+		if m.kqHead == len(m.kq) {
+			m.kq = m.kq[:0]
+			m.kqHead = 0
+		}
 		m.kActive = true
 		m.kRun = w
 		m.Util.Charge(w.d)
@@ -321,11 +372,16 @@ func (m *Machine) scheduleCPU() {
 	}
 	// Pick a user thread.
 	if m.cur == nil {
-		if len(m.runq) == 0 {
+		if m.RunQueueLen() == 0 {
 			return // idle
 		}
-		m.cur = m.runq[0]
-		m.runq = m.runq[1:]
+		m.cur = m.runq[m.runqHead]
+		m.runq[m.runqHead] = nil
+		m.runqHead++
+		if m.runqHead == len(m.runq) {
+			m.runq = m.runq[:0]
+			m.runqHead = 0
+		}
 		if m.lastRun != m.cur {
 			m.cur.remaining += m.instrTime(m.cfg.Profile.CtxSwitchInstr)
 			m.Stats.CtxSwitches++
@@ -340,7 +396,7 @@ func (m *Machine) scheduleCPU() {
 		return
 	}
 	chunk := t.remaining
-	if len(m.runq) > 0 && chunk > t.sliceLeft {
+	if m.RunQueueLen() > 0 && chunk > t.sliceLeft {
 		chunk = t.sliceLeft
 	}
 	if chunk <= 0 {
@@ -357,10 +413,20 @@ func (m *Machine) scheduleCPU() {
 // per-item closure did.
 func (m *Machine) kernelSpanDone() {
 	w := m.kRun
-	m.kRun = kwork{} // release the continuation closure
+	m.kRun = kwork{} // release the continuation closure / packet reference
 	m.kActive = false
-	if w.fn != nil {
-		w.fn()
+	switch w.op {
+	case kwDeliverNapi:
+		m.deliver(w.pkt)
+		m.napiPoll()
+	case kwTransmit:
+		m.transmit(w.pkt)
+	case kwNapiPoll:
+		m.napiPoll()
+	default:
+		if w.fn != nil {
+			w.fn()
+		}
 	}
 	m.scheduleCPU()
 }
@@ -376,6 +442,22 @@ func RegisterEventHandlers(r sim.HandlerRegistrar) {
 	})
 	r.RegisterHandler(sim.EvTimerTick, func(_ sim.Time, ev sim.Event) {
 		ev.Tgt.(*Machine).chunkDone()
+	})
+	r.RegisterHandler(sim.EvLoopback, func(_ sim.Time, ev sim.Event) {
+		ev.Tgt.(*Machine).deliver(ev.Ref.(*packet.Packet))
+	})
+	r.RegisterHandler(sim.EvThreadWake, func(_ sim.Time, ev sim.Event) {
+		t := ev.Tgt.(*Thread)
+		t.m.wake(t)
+	})
+	r.RegisterHandler(sim.EvThreadWakeBlocked, func(_ sim.Time, ev sim.Event) {
+		// Timeout timers are not cancelled on early success; a stale record
+		// must only wake a thread still blocked on a wait queue, exactly as
+		// the closure it replaced checked.
+		t := ev.Tgt.(*Thread)
+		if t.state == threadBlocked {
+			t.m.wake(t)
+		}
 	})
 }
 
@@ -431,7 +513,7 @@ func (m *Machine) transmit(pkt *packet.Packet) {
 	pkt.Src.Node = m.node
 	if pkt.Dst.Node == m.node {
 		m.Stats.LoopbackPkts++
-		m.eng.After(10*sim.Microsecond, func() { m.deliver(pkt) })
+		m.eng.AfterEvent(10*sim.Microsecond, sim.Event{Kind: sim.EvLoopback, Tgt: m, Ref: pkt})
 		return
 	}
 	pkt.Route = m.router.Route(m.node, pkt.Dst.Node)
@@ -439,8 +521,9 @@ func (m *Machine) transmit(pkt *packet.Packet) {
 	if m.dev.Transmit(pkt) {
 		return
 	}
-	if len(m.qdisc) >= m.cfg.QdiscLen {
+	if len(m.qdisc)-m.qdiscHead >= m.cfg.QdiscLen {
 		m.Stats.QdiscDrops++
+		m.pool.Release(pkt) // drop site: nothing downstream will ever see it
 		return
 	}
 	m.qdisc = append(m.qdisc, pkt)
@@ -448,13 +531,15 @@ func (m *Machine) transmit(pkt *packet.Packet) {
 
 // drainQdisc pushes queued frames into freed TX descriptors.
 func (m *Machine) drainQdisc() {
-	for len(m.qdisc) > 0 {
-		if !m.dev.Transmit(m.qdisc[0]) {
+	for m.qdiscHead < len(m.qdisc) {
+		if !m.dev.Transmit(m.qdisc[m.qdiscHead]) {
 			return
 		}
-		m.qdisc[0] = nil
-		m.qdisc = m.qdisc[1:]
+		m.qdisc[m.qdiscHead] = nil
+		m.qdiscHead++
 	}
+	m.qdisc = m.qdisc[:0]
+	m.qdiscHead = 0
 }
 
 // --- receive path --------------------------------------------------------------
@@ -464,7 +549,9 @@ func (m *Machine) drainQdisc() {
 func (m *Machine) rxInterrupt() {
 	m.Stats.Interrupts++
 	m.dev.SetRxIntEnabled(false)
-	m.kernelWork(KSpanIRQ, m.instrTime(m.cfg.Profile.IRQInstr), m.napiPoll)
+	// kwNapiPoll, not kernelWork(..., m.napiPoll): the method value would
+	// allocate a bound-closure per interrupt, i.e. per received packet.
+	m.kernelWorkPkt(KSpanIRQ, m.instrTime(m.cfg.Profile.IRQInstr), kwNapiPoll, nil)
 }
 
 // napiPoll processes one frame per kernel-work item until the ring drains,
@@ -482,13 +569,14 @@ func (m *Machine) napiPoll() {
 	default:
 		cost = m.instrTime(m.cfg.Profile.RxUDPInstr)
 	}
-	m.kernelWork(KSpanSoftIRQ, cost, func() {
-		m.deliver(pkt)
-		m.napiPoll()
-	})
+	m.kernelWorkPkt(KSpanSoftIRQ, cost, kwDeliverNapi, pkt)
 }
 
-// deliver demultiplexes a received packet to its socket.
+// deliver demultiplexes a received packet to its socket, then releases it:
+// socket delivery is the packet's final consumer (UDP copies the datagram
+// descriptor out, TCP extracts the header and payload boundaries, and every
+// no-receiver branch just drops), so by the ownership rules the packet dies
+// here — whether it arrived over the wire or over loopback.
 func (m *Machine) deliver(pkt *packet.Packet) {
 	if m.OnPacketDelivered != nil {
 		m.OnPacketDelivered(pkt, m.eng.Now())
@@ -499,6 +587,7 @@ func (m *Machine) deliver(pkt *packet.Packet) {
 	case packet.ProtoTCP:
 		m.deliverTCP(pkt)
 	}
+	m.pool.Release(pkt)
 }
 
 func (m *Machine) deliverTCP(pkt *packet.Packet) {
@@ -518,17 +607,16 @@ func (m *Machine) deliverTCP(pkt *packet.Packet) {
 	// connection (e.g. a lost final ACK of a close handshake) terminate
 	// instead of backing off forever.
 	if pkt.TCP.Flags&packet.FlagRST == 0 {
-		rst := &packet.Packet{
-			Src:   pkt.Dst,
-			Dst:   pkt.Src,
-			Proto: packet.ProtoTCP,
-			TCP: packet.TCPHdr{
-				Flags: packet.FlagRST | packet.FlagACK,
-				Seq:   pkt.TCP.Ack,
-				Ack:   pkt.TCP.Seq + uint32(pkt.PayloadBytes),
-			},
+		rst := m.newPacket()
+		rst.Src = pkt.Dst
+		rst.Dst = pkt.Src
+		rst.Proto = packet.ProtoTCP
+		rst.TCP = packet.TCPHdr{
+			Flags: packet.FlagRST | packet.FlagACK,
+			Seq:   pkt.TCP.Ack,
+			Ack:   pkt.TCP.Seq + uint32(pkt.PayloadBytes),
 		}
-		m.kernelWork(KSpanTxTCP, m.instrTime(m.cfg.Profile.TxTCPInstr/2), func() { m.transmit(rst) })
+		m.kernelWorkPkt(KSpanTxTCP, m.instrTime(m.cfg.Profile.TxTCPInstr/2), kwTransmit, rst)
 	}
 }
 
@@ -560,17 +648,39 @@ func (e tcpEnv) Cancel(id sim.EventID)                { e.m.eng.Cancel(id) }
 // the segment to the driver. FIFO kernel work keeps segments ordered.
 func (e tcpEnv) Output(pkt *packet.Packet) {
 	m := e.m
-	m.kernelWork(KSpanTxTCP, m.instrTime(m.cfg.Profile.TxTCPInstr), func() { m.transmit(pkt) })
+	m.kernelWorkPkt(KSpanTxTCP, m.instrTime(m.cfg.Profile.TxTCPInstr), kwTransmit, pkt)
 }
+
+// NewPacket allocates an outgoing segment from the machine's partition pool.
+func (e tcpEnv) NewPacket() *packet.Packet { return e.m.newPacket() }
 
 // RunQueueLen returns the number of runnable threads waiting for the CPU
 // (excluding the one currently holding it). Observability accessor; call
 // from this machine's event context.
-func (m *Machine) RunQueueLen() int { return len(m.runq) }
+func (m *Machine) RunQueueLen() int { return len(m.runq) - m.runqHead }
 
 // QdiscQueued returns the number of packets queued between the stack and the
 // NIC ring. Observability accessor; call from this machine's event context.
-func (m *Machine) QdiscQueued() int { return len(m.qdisc) }
+func (m *Machine) QdiscQueued() int { return len(m.qdisc) - m.qdiscHead }
+
+// ReleaseInFlight releases every packet the machine still holds — the qdisc,
+// queued kernel work items and the executing one — into the pool. Post-run
+// accounting for the leak-balance gate (core.Cluster.ReleaseInFlight); must
+// not be called while the engine is running.
+func (m *Machine) ReleaseInFlight() {
+	for _, pkt := range m.qdisc[m.qdiscHead:] {
+		m.pool.Release(pkt)
+	}
+	m.qdisc, m.qdiscHead = nil, 0
+	for _, w := range m.kq[m.kqHead:] {
+		m.pool.Release(w.pkt) // nil for closure-op items: no-op
+	}
+	m.kq, m.kqHead = nil, 0
+	if m.kActive {
+		m.pool.Release(m.kRun.pkt)
+		m.kRun = kwork{}
+	}
+}
 
 // Shutdown kills every thread on the machine (used by experiment teardown to
 // release goroutines). The engine must not be running.

@@ -44,9 +44,11 @@ type Pollable interface {
 
 // EpollEvent is one ready notification from Epoll.Wait.
 type EpollEvent struct {
+	//diablo:transient scratch result row; Wait rebuilds it from live socket state
 	Sock   Pollable
 	Events EpollEvents
-	Data   any
+	//diablo:transient application cookie; reattached by the app when epoll state replays
+	Data any
 }
 
 type epollItem struct {
@@ -64,8 +66,15 @@ type epollItem struct {
 type Epoll struct {
 	m *Machine
 	//diablo:transient keyed by socket identity; rebuilt from fd registrations on restore
-	items   map[Pollable]*epollItem
-	ready   []*epollItem
+	items map[Pollable]*epollItem
+	// ready is a head-indexed FIFO (see Machine.kq); level-triggered re-queues
+	// make this the allocation hot spot of epoll servers otherwise.
+	ready     []*epollItem
+	readyHead int
+	// evbuf is the reusable result buffer Wait hands back to the caller; like
+	// the real epoll_wait events array it is valid until the next Wait on
+	// this instance.
+	evbuf   []EpollEvent
 	waiters waitQueue
 	kicked  bool
 }
@@ -128,24 +137,23 @@ func (ep *Epoll) Wait(t *Thread, maxEvents int, timeout simDuration) []EpollEven
 	if maxEvents <= 0 {
 		maxEvents = 64
 	}
-	deadline := false
+	// Typed wake-if-still-blocked timer; see UDPSocket.RecvFromTimeout for
+	// the stale-record discipline.
+	var deadline sim.Time
 	if timeout > 0 {
-		tt := t
-		ep.m.eng.After(timeout, func() {
-			deadline = true
-			if tt.state == threadBlocked {
-				ep.m.wake(tt)
-			}
-		})
+		deadline = ep.m.eng.Now().Add(timeout)
+		ep.m.eng.AfterEvent(timeout, sim.Event{Kind: sim.EvThreadWakeBlocked, Tgt: t})
 	}
+	blocked := false
 	for {
-		var out []EpollEvent
+		out := ep.evbuf[:0]
 		// Harvest the ready list (level-triggered: items still ready are
 		// re-queued).
-		n := len(ep.ready)
+		n := len(ep.ready) - ep.readyHead
 		for i := 0; i < n && len(out) < maxEvents; i++ {
-			it := ep.ready[0]
-			ep.ready = ep.ready[1:]
+			it := ep.ready[ep.readyHead]
+			ep.ready[ep.readyHead] = nil
+			ep.readyHead++
 			it.inReady = false
 			if it.sock == nil {
 				continue // deleted
@@ -159,6 +167,11 @@ func (ep *Epoll) Wait(t *Thread, maxEvents int, timeout simDuration) []EpollEven
 			it.inReady = true
 			ep.ready = append(ep.ready, it)
 		}
+		if ep.readyHead == len(ep.ready) {
+			ep.ready = ep.ready[:0]
+			ep.readyHead = 0
+		}
+		ep.evbuf = out
 		if len(out) > 0 {
 			// Charge the per-event dispatch cost.
 			t.Compute(int64(len(out)) * ep.m.cfg.Profile.EpollInstr / 4)
@@ -168,9 +181,10 @@ func (ep *Epoll) Wait(t *Thread, maxEvents int, timeout simDuration) []EpollEven
 			ep.kicked = false
 			return nil
 		}
-		if deadline || timeout == 0 {
+		if timeout == 0 || (timeout > 0 && blocked && ep.m.eng.Now() >= deadline) {
 			return nil
 		}
+		blocked = true
 		ep.waiters.enqueue(t)
 		t.block()
 	}
@@ -190,15 +204,6 @@ type udpDgram struct {
 	bytes int
 	//diablo:transient opaque app payload; needs a concrete-type registry (ROADMAP item 5)
 	payload any
-}
-
-// udpFrag is the wire-level fragment descriptor (carried as pkt.Payload).
-type udpFrag struct {
-	id      uint64
-	index   int
-	total   int
-	bytes   int // whole-datagram size
-	payload any // attached to the last fragment
 }
 
 type fragKey struct {
@@ -222,7 +227,11 @@ type UDPSocket struct {
 	m    *Machine
 	port packet.Port
 
+	// rcvq is a head-indexed FIFO (see Machine.kq): popping advances rcvqHead
+	// and the backing array is reused, so a steady request/response flow
+	// queues and drains datagrams without allocating.
 	rcvq     []udpDgram
+	rcvqHead int
 	rcvBytes int
 
 	frags map[fragKey]*fragState
@@ -279,16 +288,17 @@ func (s *UDPSocket) SendTo(t *Thread, dst packet.Addr, n int, payload any) error
 			chunk = packet.MaxUDPPayload
 		}
 		remaining -= chunk
-		frag := udpFrag{id: id, index: i, total: total, bytes: n}
+		pkt := m.newPacket()
+		pkt.Src = packet.Addr{Node: m.node, Port: s.port}
+		pkt.Dst = dst
+		pkt.Proto = packet.ProtoUDP
+		pkt.PayloadBytes = chunk
+		// The fragment descriptor rides in the typed UDP header (boxing it
+		// into Payload would allocate per packet); the application reference
+		// is attached to the final fragment only.
+		pkt.UDP = packet.UDPHdr{FragID: id, Index: uint16(i), Total: uint16(total), Bytes: n}
 		if i == total-1 {
-			frag.payload = payload
-		}
-		pkt := &packet.Packet{
-			Src:          packet.Addr{Node: m.node, Port: s.port},
-			Dst:          dst,
-			Proto:        packet.ProtoUDP,
-			PayloadBytes: chunk,
-			Payload:      frag,
+			pkt.Payload = payload
 		}
 		// Fragments beyond the first cost a reduced per-packet TX charge.
 		if i > 0 {
@@ -305,10 +315,8 @@ func (s *UDPSocket) RecvFrom(t *Thread) (packet.Addr, int, any, error) {
 	m := s.m
 	t.syscall(m.cfg.Profile.RxUDPInstr / 4)
 	for {
-		if len(s.rcvq) > 0 {
-			d := s.rcvq[0]
-			s.rcvq[0] = udpDgram{}
-			s.rcvq = s.rcvq[1:]
+		if s.Pending() > 0 {
+			d := s.popDgram()
 			s.rcvBytes -= d.bytes
 			t.computeTime(m.copyCost(d.bytes))
 			return d.from, d.bytes, d.payload, nil
@@ -326,21 +334,19 @@ func (s *UDPSocket) RecvFrom(t *Thread) (packet.Addr, int, any, error) {
 func (s *UDPSocket) RecvFromTimeout(t *Thread, d sim.Duration) (packet.Addr, int, any, error) {
 	m := s.m
 	t.syscall(m.cfg.Profile.RxUDPInstr / 4)
-	expired := false
+	// The timeout is a typed wake-if-still-blocked record plus a deadline
+	// comparison (a capturing closure here costs one allocation per receive).
+	// The record is not cancelled on early success; stale ones only ever wake
+	// a blocked thread, which the loop absorbs as a spurious wakeup.
+	var deadline sim.Time
 	if d >= 0 {
-		tt := t
-		m.eng.After(d, func() {
-			expired = true
-			if tt.state == threadBlocked {
-				m.wake(tt)
-			}
-		})
+		deadline = m.eng.Now().Add(d)
+		m.eng.AfterEvent(d, sim.Event{Kind: sim.EvThreadWakeBlocked, Tgt: t})
 	}
+	blocked := false // the deadline can only have passed after one block/wake cycle
 	for {
-		if len(s.rcvq) > 0 {
-			dg := s.rcvq[0]
-			s.rcvq[0] = udpDgram{}
-			s.rcvq = s.rcvq[1:]
+		if s.Pending() > 0 {
+			dg := s.popDgram()
 			s.rcvBytes -= dg.bytes
 			t.computeTime(m.copyCost(dg.bytes))
 			return dg.from, dg.bytes, dg.payload, nil
@@ -348,9 +354,10 @@ func (s *UDPSocket) RecvFromTimeout(t *Thread, d sim.Duration) (packet.Addr, int
 		if s.closed {
 			return packet.Addr{}, 0, nil, ErrClosed
 		}
-		if expired {
+		if blocked && d >= 0 && m.eng.Now() >= deadline {
 			return packet.Addr{}, 0, nil, ErrWouldBlock
 		}
+		blocked = true
 		s.readers.enqueue(t)
 		t.block()
 	}
@@ -360,22 +367,32 @@ func (s *UDPSocket) RecvFromTimeout(t *Thread, d sim.Duration) (packet.Addr, int
 func (s *UDPSocket) TryRecv(t *Thread) (packet.Addr, int, any, error) {
 	m := s.m
 	t.syscall(m.cfg.Profile.RxUDPInstr / 4)
-	if len(s.rcvq) == 0 {
+	if s.Pending() == 0 {
 		if s.closed {
 			return packet.Addr{}, 0, nil, ErrClosed
 		}
 		return packet.Addr{}, 0, nil, ErrWouldBlock
 	}
-	d := s.rcvq[0]
-	s.rcvq[0] = udpDgram{}
-	s.rcvq = s.rcvq[1:]
+	d := s.popDgram()
 	s.rcvBytes -= d.bytes
 	t.computeTime(m.copyCost(d.bytes))
 	return d.from, d.bytes, d.payload, nil
 }
 
+// popDgram removes the queue head. Callers must check Pending() first.
+func (s *UDPSocket) popDgram() udpDgram {
+	d := s.rcvq[s.rcvqHead]
+	s.rcvq[s.rcvqHead] = udpDgram{}
+	s.rcvqHead++
+	if s.rcvqHead == len(s.rcvq) {
+		s.rcvq = s.rcvq[:0]
+		s.rcvqHead = 0
+	}
+	return d
+}
+
 // Pending returns the queued datagram count.
-func (s *UDPSocket) Pending() int { return len(s.rcvq) }
+func (s *UDPSocket) Pending() int { return len(s.rcvq) - s.rcvqHead }
 
 // Close unbinds the socket.
 func (s *UDPSocket) Close(t *Thread) {
@@ -395,16 +412,16 @@ func (m *Machine) deliverUDP(pkt *packet.Packet) {
 	if !ok || s.closed {
 		return // ICMP port unreachable in real life; silently dropped here
 	}
-	frag, ok := pkt.Payload.(udpFrag)
-	if !ok {
+	hdr := pkt.UDP
+	if hdr.Total == 0 {
 		// Raw single-packet datagram (from tests or simple senders).
-		frag = udpFrag{total: 1, bytes: pkt.PayloadBytes, payload: pkt.Payload}
+		hdr = packet.UDPHdr{Total: 1, Bytes: pkt.PayloadBytes}
 	}
-	if frag.total > 1 {
-		key := fragKey{from: pkt.Src, id: frag.id}
+	if hdr.Total > 1 {
+		key := fragKey{from: pkt.Src, id: hdr.FragID}
 		st := s.frags[key]
 		if st == nil {
-			st = &fragState{total: frag.total}
+			st = &fragState{total: int(hdr.Total)}
 			s.frags[key] = st
 		}
 		st.got++
@@ -413,12 +430,12 @@ func (m *Machine) deliverUDP(pkt *packet.Packet) {
 		}
 		delete(s.frags, key)
 	}
-	if s.rcvBytes+frag.bytes > m.cfg.UDPRcvBuf {
+	if s.rcvBytes+hdr.Bytes > m.cfg.UDPRcvBuf {
 		s.Stats.RxDropsFull++
 		return
 	}
-	s.rcvq = append(s.rcvq, udpDgram{from: pkt.Src, bytes: frag.bytes, payload: frag.payload})
-	s.rcvBytes += frag.bytes
+	s.rcvq = append(s.rcvq, udpDgram{from: pkt.Src, bytes: hdr.Bytes, payload: pkt.Payload})
+	s.rcvBytes += hdr.Bytes
 	s.Stats.RxDatagrams++
 	s.readers.wakeOne(m)
 	s.notifyWatchers()
@@ -426,7 +443,7 @@ func (m *Machine) deliverUDP(pkt *packet.Packet) {
 
 func (s *UDPSocket) readyMask() EpollEvents {
 	var mask EpollEvents
-	if len(s.rcvq) > 0 {
+	if s.Pending() > 0 {
 		mask |= EpollIn
 	}
 	if !s.closed {

@@ -150,7 +150,7 @@ func (t *Thread) Sleep(d sim.Duration) {
 	if m.cur == t {
 		m.cur = nil
 	}
-	m.eng.After(d, func() { m.wake(t) })
+	m.eng.AfterEvent(d, sim.Event{Kind: sim.EvThreadWake, Tgt: t})
 	t.park()
 }
 
@@ -158,7 +158,7 @@ func (t *Thread) Sleep(d sim.Duration) {
 func (t *Thread) Yield() {
 	m := t.m
 	t.syscall(0)
-	if len(m.runq) == 0 {
+	if m.RunQueueLen() == 0 {
 		return
 	}
 	t.state = threadRunnable
@@ -186,9 +186,14 @@ func (t *Thread) block() {
 	t.park()
 }
 
-// waitQueue is a FIFO of threads blocked on a condition.
+// waitQueue is a FIFO of threads blocked on a condition. Head-indexed like
+// Machine.kq: popping advances head and the backing array is reused, so the
+// block/wake cycle every request goes through allocates nothing in steady
+// state (a naive waiters = waiters[1:] strands the popped capacity and
+// re-allocates on every enqueue).
 type waitQueue struct {
 	waiters []*Thread
+	head    int
 }
 
 func (q *waitQueue) enqueue(t *Thread) { q.waiters = append(q.waiters, t) }
@@ -197,9 +202,14 @@ func (q *waitQueue) enqueue(t *Thread) { q.waiters = append(q.waiters, t) }
 // woken. Stale entries (threads already woken by a timeout, or dead) are
 // skipped so wakeups are never lost.
 func (q *waitQueue) wakeOne(m *Machine) bool {
-	for len(q.waiters) > 0 {
-		t := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	for q.head < len(q.waiters) {
+		t := q.waiters[q.head]
+		q.waiters[q.head] = nil
+		q.head++
+		if q.head == len(q.waiters) {
+			q.waiters = q.waiters[:0]
+			q.head = 0
+		}
 		if t.state != threadBlocked {
 			continue
 		}

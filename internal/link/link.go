@@ -69,6 +69,7 @@ type Link struct {
 
 	imp       Impairment
 	faultRand *sim.Rand // loss decisions; set once by the fault layer
+	pool      *packet.Pool
 
 	// OnFaultDrop, if set, observes every frame removed by the fault layer.
 	//diablo:transient observability hook; re-registered by the fault layer on restore
@@ -104,6 +105,11 @@ func (l *Link) Prop() sim.Duration { return l.prop }
 
 // SetDst rebinds the receiving endpoint (used while wiring topologies).
 func (l *Link) SetDst(dst Endpoint) { l.dst = dst }
+
+// SetPool attaches the transmit-side partition's packet pool. A fault drop
+// makes the link the frame's final consumer, so the slot is returned here; a
+// nil pool leaves the link in unpooled heap mode.
+func (l *Link) SetPool(p *packet.Pool) { l.pool = p }
 
 // SetFaultRand installs the deterministic stream that decides probabilistic
 // losses. The fault layer seeds one stream per link (derived from the plan
@@ -175,6 +181,11 @@ func (l *Link) SendFrom(earliest sim.Time, pkt *packet.Packet) (txDone sim.Time)
 			if l.OnFaultDrop != nil {
 				l.OnFaultDrop(pkt)
 			}
+			// The wire ate the frame: release at the drop site (after the
+			// observability hook has seen it). The transmitting NIC's ring
+			// still points at the frame until txDone, but never dereferences
+			// it, and its ReleaseInFlight skips the in-flight head.
+			l.pool.Release(pkt)
 			return txDone
 		}
 		prop += l.imp.ExtraProp

@@ -121,7 +121,7 @@ func TestTCPHeaderSizes(t *testing.T) {
 
 func TestRouteConsumption(t *testing.T) {
 	p := mkpkt(100)
-	p.Route = []uint8{3, 7}
+	p.Route = packet.MakeRoute(3, 7)
 	if got := p.NextRoutePort(); got != 3 {
 		t.Fatalf("hop0 = %d", got)
 	}

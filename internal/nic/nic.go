@@ -63,11 +63,17 @@ type NIC struct {
 	sched  sim.Scheduler
 	params Params
 	wire   *link.Link // egress link to the ToR switch
+	pool   *packet.Pool
 
-	txq    []*packet.Packet
-	txBusy bool
+	// The descriptor rings are head-indexed FIFOs (pop advances the head and
+	// reuses the backing array), mirroring real descriptor rings: servicing
+	// them allocates nothing.
+	txq     []*packet.Packet
+	txqHead int
+	txBusy  bool
 
 	rxq          []*packet.Packet
+	rxqHead      int
 	rxIntEnabled bool
 	rxIntPending bool
 	lastRxInt    sim.Time
@@ -109,19 +115,24 @@ func New(sched sim.Scheduler, params Params, wire *link.Link) (*NIC, error) {
 // Params returns the device configuration.
 func (n *NIC) Params() Params { return n.params }
 
+// SetPool attaches the partition's packet pool. The NIC releases frames it
+// drops (RX overruns) and everything still sitting in its rings at
+// ReleaseInFlight time; a nil pool leaves the device in unpooled heap mode.
+func (n *NIC) SetPool(p *packet.Pool) { n.pool = p }
+
 // Wire returns the egress link.
 func (n *NIC) Wire() *link.Link { return n.wire }
 
 // --- TX path ---------------------------------------------------------------
 
 // TxSpace returns the number of free TX descriptors.
-func (n *NIC) TxSpace() int { return n.params.TxRing - len(n.txq) }
+func (n *NIC) TxSpace() int { return n.params.TxRing - n.TxPending() }
 
 // Transmit places pkt on the TX ring; it returns false if the ring is full
 // (the driver's qdisc must hold the frame). DMA engines then clock frames
 // onto the wire in order.
 func (n *NIC) Transmit(pkt *packet.Packet) bool {
-	if len(n.txq) >= n.params.TxRing {
+	if n.TxPending() >= n.params.TxRing {
 		return false
 	}
 	n.txq = append(n.txq, pkt)
@@ -144,10 +155,10 @@ func (n *NIC) SetStalled(stalled bool) {
 func (n *NIC) Stalled() bool { return n.stalled }
 
 func (n *NIC) kickTx() {
-	if n.txBusy || n.stalled || len(n.txq) == 0 {
+	if n.txBusy || n.stalled || n.TxPending() == 0 {
 		return
 	}
-	pkt := n.txq[0]
+	pkt := n.txq[n.txqHead]
 	n.txBusy = true
 	pkt.SentAt = n.sched.Now()
 	txDone := n.wire.Send(pkt)
@@ -156,7 +167,12 @@ func (n *NIC) kickTx() {
 
 // txDone retires the in-flight TX descriptor (the EvNicTx handler).
 func (n *NIC) txDone() {
-	n.txq = n.txq[1:]
+	n.txq[n.txqHead] = nil
+	n.txqHead++
+	if n.txqHead == len(n.txq) {
+		n.txq = n.txq[:0]
+		n.txqHead = 0
+	}
 	n.txBusy = false
 	n.Stats.TxPackets++
 	if n.OnTxDrain != nil {
@@ -169,8 +185,11 @@ func (n *NIC) txDone() {
 
 // Receive implements link.Endpoint: a frame has arrived from the wire.
 func (n *NIC) Receive(pkt *packet.Packet) {
-	if len(n.rxq) >= n.params.RxRing {
+	if n.RxPending() >= n.params.RxRing {
 		n.Stats.RxOverruns++
+		// The overrun is this frame's final consumer: hardware drops it on
+		// the floor, so its slot goes back to the pool here.
+		n.pool.Release(pkt)
 		return
 	}
 	n.rxq = append(n.rxq, pkt)
@@ -179,7 +198,7 @@ func (n *NIC) Receive(pkt *packet.Packet) {
 }
 
 func (n *NIC) maybeRaiseRxInt() {
-	if !n.rxIntEnabled || n.rxIntPending || n.stalled || len(n.rxq) == 0 {
+	if !n.rxIntEnabled || n.rxIntPending || n.stalled || n.RxPending() == 0 {
 		return
 	}
 	now := n.sched.Now()
@@ -197,7 +216,7 @@ func (n *NIC) maybeRaiseRxInt() {
 // drained the ring since the interrupt was armed.
 func (n *NIC) rxIntrFire() {
 	n.rxIntPending = false
-	if !n.rxIntEnabled || n.stalled || len(n.rxq) == 0 {
+	if !n.rxIntEnabled || n.stalled || n.RxPending() == 0 {
 		return
 	}
 	n.lastRxInt = n.sched.Now()
@@ -220,20 +239,46 @@ func RegisterEventHandlers(r sim.HandlerRegistrar) {
 // PopRx removes and returns the oldest received frame, or nil if the ring is
 // empty. Called by the driver's NAPI poll loop.
 func (n *NIC) PopRx() *packet.Packet {
-	if len(n.rxq) == 0 {
+	if n.RxPending() == 0 {
 		return nil
 	}
-	pkt := n.rxq[0]
-	n.rxq[0] = nil
-	n.rxq = n.rxq[1:]
+	pkt := n.rxq[n.rxqHead]
+	n.rxq[n.rxqHead] = nil
+	n.rxqHead++
+	if n.rxqHead == len(n.rxq) {
+		n.rxq = n.rxq[:0]
+		n.rxqHead = 0
+	}
 	return pkt
 }
 
 // RxPending returns the number of frames waiting in the RX ring.
-func (n *NIC) RxPending() int { return len(n.rxq) }
+func (n *NIC) RxPending() int { return len(n.rxq) - n.rxqHead }
 
 // TxPending returns the number of frames occupying TX descriptors.
-func (n *NIC) TxPending() int { return len(n.txq) }
+func (n *NIC) TxPending() int { return len(n.txq) - n.txqHead }
+
+// ReleaseInFlight returns every frame still sitting in the device rings to
+// the pool and empties them. Part of the cluster-wide leak audit after Halt:
+// a halted run strands frames mid-flight, and the audit proves every one is
+// still accounted for. When a TX transmission is in progress the head
+// descriptor's frame is owned by the wire (it is either carried by a pending
+// EvPacketHop — released by the engine walk — or was already released by a
+// link fault drop), so it is skipped here.
+func (n *NIC) ReleaseInFlight() {
+	start := n.txqHead
+	if n.txBusy {
+		start++
+	}
+	for i := start; i < len(n.txq); i++ {
+		n.pool.Release(n.txq[i])
+	}
+	n.txq, n.txqHead, n.txBusy = nil, 0, false
+	for i := n.rxqHead; i < len(n.rxq); i++ {
+		n.pool.Release(n.rxq[i])
+	}
+	n.rxq, n.rxqHead = nil, 0
+}
 
 // SetRxIntEnabled controls RX interrupt delivery (NAPI disables interrupts
 // while polling). Re-enabling checks for frames that arrived while polling.

@@ -114,6 +114,80 @@ type TCPHdr struct {
 	Window uint32 // advertised receive window in bytes
 }
 
+// UDPHdr carries the stack's datagram fragmentation metadata inline — the
+// moral equivalent of the IP fragment header. A Total of zero marks a raw
+// unfragmented packet whose Payload is the whole datagram (direct
+// construction in tests and simple senders). Storing the descriptor as a
+// typed field instead of boxing it into Payload removes one heap allocation
+// per UDP packet.
+type UDPHdr struct {
+	FragID uint64 // datagram ID the fragment belongs to (per source socket)
+	Index  uint16 // fragment index within the datagram
+	Total  uint16 // fragment count (0 = raw unfragmented packet)
+	Bytes  int    // whole-datagram payload size
+}
+
+// MaxRouteHops bounds the inline source route. The deepest fabric today is
+// host -> ToR -> array -> datacenter -> array -> ToR (5 route entries); 8
+// leaves headroom for one more tier without another packet-layout change.
+const MaxRouteHops = 8
+
+// Route is a pre-computed source route stored inline in the packet: ports[i]
+// is the egress port index at the i-th switch on the path. Storing the route
+// as a fixed array instead of a []uint8 removes one heap allocation per
+// simulated packet — routes are built once by the topology layer and only
+// ever consumed front-to-back, so the slice machinery bought nothing.
+//
+// Route is a comparable value type: routes compare with == and copy by
+// assignment.
+type Route struct {
+	ports [MaxRouteHops]uint8
+	n     uint8
+}
+
+// MakeRoute builds a route from egress port indexes. It panics if the path
+// is deeper than MaxRouteHops — a topology bug, not a runtime condition.
+func MakeRoute(ports ...uint8) Route {
+	var r Route
+	if len(ports) > MaxRouteHops {
+		panic(fmt.Sprintf("packet: route depth %d exceeds MaxRouteHops=%d", len(ports), MaxRouteHops))
+	}
+	copy(r.ports[:], ports)
+	r.n = uint8(len(ports))
+	return r
+}
+
+// Len returns the number of route entries.
+func (r *Route) Len() int { return int(r.n) }
+
+// At returns the i-th egress port index.
+func (r *Route) At(i int) uint8 { return r.ports[i] }
+
+// Append adds one egress port to the route, panicking past MaxRouteHops.
+func (r *Route) Append(port uint8) {
+	if int(r.n) >= MaxRouteHops {
+		panic(fmt.Sprintf("packet: route depth exceeds MaxRouteHops=%d", MaxRouteHops))
+	}
+	r.ports[r.n] = port
+	r.n++
+}
+
+// Ports returns the route as a slice view for tests and diagnostics. The
+// view aliases the route's backing array; hot paths use At/Len instead.
+func (r *Route) Ports() []uint8 { return r.ports[:r.n] }
+
+// String renders the route for traces and panics.
+func (r Route) String() string {
+	s := "["
+	for i := 0; i < int(r.n); i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d", r.ports[i])
+	}
+	return s + "]"
+}
+
 // Packet is one simulated frame in flight.
 //
 //diablo:checkpoint-root
@@ -121,10 +195,9 @@ type Packet struct {
 	Src, Dst Addr
 	Proto    Proto
 
-	// Route is the source route: Route[i] is the egress port index at the
-	// i-th switch on the path. Hop is the index of the next switch to
-	// consume a route entry.
-	Route []uint8
+	// Route is the inline source route; Hop is the index of the next switch
+	// to consume a route entry.
+	Route Route
 	Hop   int
 
 	// PayloadBytes is the transport payload length. The full wire size is
@@ -133,6 +206,9 @@ type Packet struct {
 
 	// TCP holds TCP header fields when Proto == ProtoTCP.
 	TCP TCPHdr
+
+	// UDP holds datagram fragmentation metadata when Proto == ProtoUDP.
+	UDP UDPHdr
 
 	// Payload is an opaque application reference (e.g. a request object)
 	// used by endpoints to reconstruct messages without simulating bytes.
@@ -144,6 +220,14 @@ type Packet struct {
 	// FirstBitArrival is maintained by links: the time the leading bit of
 	// this frame arrived at the current endpoint. Switch cut-through uses it.
 	FirstBitArrival sim.Time
+
+	// Pool-lifecycle bookkeeping (see Pool). pstate distinguishes
+	// heap-constructed packets (zero: untracked, GC-owned) from pool handles
+	// (live or on a freelist); pgen counts recycles of the slab slot so
+	// slabdebug builds can name stale handles. Both are rebuilt trivially on
+	// restore: a checkpoint only ever contains live packets.
+	pstate uint8
+	pgen   uint32
 }
 
 // headerBytes returns transport+IP header bytes for the packet's protocol.
@@ -161,6 +245,7 @@ func (p *Packet) headerBytes() int {
 // FrameBytes returns the Ethernet frame size (header+FCS, no preamble/IFG),
 // clamped to the 64-byte minimum frame.
 func (p *Packet) FrameBytes() int {
+	checkLive(p)
 	n := EthHeader + EthFCS + p.headerBytes() + p.PayloadBytes
 	if n < MinFrame {
 		n = MinFrame
@@ -182,10 +267,11 @@ func (p *Packet) BufferBytes() int { return p.FrameBytes() }
 // NextRoutePort consumes and returns the egress port for the current switch
 // hop. It returns -1 if the route is exhausted (a routing bug).
 func (p *Packet) NextRoutePort() int {
-	if p.Hop >= len(p.Route) {
+	checkLive(p)
+	if p.Hop >= p.Route.Len() {
 		return -1
 	}
-	port := int(p.Route[p.Hop])
+	port := int(p.Route.At(p.Hop))
 	p.Hop++
 	return port
 }

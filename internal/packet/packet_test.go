@@ -68,13 +68,40 @@ func TestHeaderConstants(t *testing.T) {
 }
 
 func TestRouteConsumption(t *testing.T) {
-	p := &Packet{Route: []uint8{3, 1, 0, 5, 9}}
+	p := &Packet{Route: MakeRoute(3, 1, 0, 5, 9)}
 	want := []int{3, 1, 0, 5, 9, -1, -1}
 	for i, w := range want {
 		if got := p.NextRoutePort(); got != w {
 			t.Fatalf("hop %d = %d, want %d", i, got, w)
 		}
 	}
+}
+
+func TestRouteValueSemantics(t *testing.T) {
+	r := MakeRoute(1, 2, 3)
+	if r.Len() != 3 || r.At(0) != 1 || r.At(2) != 3 {
+		t.Fatalf("route contents: %v", r)
+	}
+	if r != MakeRoute(1, 2, 3) {
+		t.Fatal("identical routes must compare equal")
+	}
+	if r == MakeRoute(1, 2) {
+		t.Fatal("routes of different depth must differ")
+	}
+	r.Append(4)
+	if got := r.Ports(); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("after append: %v", got)
+	}
+	if r.String() != "[1 2 3 4]" {
+		t.Fatalf("route string = %q", r.String())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-deep route must panic")
+		}
+	}()
+	MakeRoute(1, 2, 3, 4, 5, 6, 7, 8, 9)
 }
 
 func TestTCPFlagsString(t *testing.T) {

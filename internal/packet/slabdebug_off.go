@@ -1,0 +1,20 @@
+//go:build !slabdebug
+
+package packet
+
+// Without the slabdebug build tag the lifecycle hooks compile to nothing:
+// checkLive sits on per-hop accessors (NextRoutePort, FrameBytes) and must
+// inline away in release builds. Double-release detection stays on
+// unconditionally — it is one byte compare in Release.
+
+// SlabDebug reports whether this build carries the diagnostic registry.
+const SlabDebug = false
+
+func checkLive(*Packet) {}
+
+func slabdebugGet(*Packet)     {}
+func slabdebugRelease(*Packet) {}
+
+// slabdebugSite names a packet's allocation/release sites in panics; without
+// the tag there is nothing recorded.
+func slabdebugSite(*Packet) string { return "" }

@@ -1,0 +1,81 @@
+//go:build slabdebug
+
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests only build under -tags slabdebug: they assert the diagnostic
+// registry's contribution to the panics — the allocation and release call
+// sites — which the release build compiles away.
+
+func mustPanic(t *testing.T, fn func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic")
+		}
+		msg = r.(string)
+	}()
+	fn()
+	return ""
+}
+
+// A use-after-release through a guarded accessor names the generation, the
+// Get site and the Release site, so the stale holder is findable without a
+// heap dump.
+func TestSlabdebugUseAfterReleaseNamesSites(t *testing.T) {
+	p := NewPool()
+	pkt := p.Get()
+	p.Release(pkt)
+	msg := mustPanic(t, func() { pkt.FrameBytes() })
+	for _, want := range []string{"use after release", "allocated at", "released at", "slabdebug_test.go"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("use-after-release panic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// NextRoutePort carries the same guard — it is the per-hop accessor the
+// switch path hits, so a stale handle dies on its first hop.
+func TestSlabdebugUseAfterReleaseOnRoute(t *testing.T) {
+	p := NewPool()
+	pkt := p.Get()
+	pkt.Route.Append(3)
+	p.Release(pkt)
+	msg := mustPanic(t, func() { pkt.NextRoutePort() })
+	if !strings.Contains(msg, "use after release") || !strings.Contains(msg, "allocated at") {
+		t.Errorf("route accessor panic %q lacks lifecycle sites", msg)
+	}
+}
+
+// A double release names where the packet was first released.
+func TestSlabdebugDoubleReleaseNamesFirstRelease(t *testing.T) {
+	p := NewPool()
+	pkt := p.Get()
+	p.Release(pkt)
+	msg := mustPanic(t, func() { p.Release(pkt) })
+	for _, want := range []string{"double release", "allocated at", "released at", "slabdebug_test.go"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("double-release panic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// Recycling a slot clears the stale release site: after the next Get the
+// handle is live again and the guarded accessors pass.
+func TestSlabdebugRecycledSlotIsLive(t *testing.T) {
+	p := NewPool()
+	pkt := p.Get()
+	p.Release(pkt)
+	again := p.Get() // LIFO: same slot
+	if again != pkt {
+		t.Fatalf("expected LIFO recycling to return the same slot")
+	}
+	if got := again.FrameBytes(); got != MinFrame {
+		t.Fatalf("recycled packet FrameBytes = %d, want %d", got, MinFrame)
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+func TestScratchGenerationReset(t *testing.T) {
+	var a Arena
+	s := NewScratch[*int](&a)
+	x := 7
+	buf := s.Take()
+	buf = append(buf, &x, &x, &x)
+	s.Keep(buf)
+
+	// Same generation: contents persist.
+	if got := s.Take(); len(got) != 3 {
+		t.Fatalf("same-generation Take lost contents: len %d", len(got))
+	}
+	s.Keep(buf)
+
+	a.Reset()
+	got := s.Take()
+	if len(got) != 0 {
+		t.Fatalf("post-Reset Take not empty: len %d", len(got))
+	}
+	if cap(got) < 3 {
+		t.Fatalf("post-Reset Take lost capacity: cap %d", cap(got))
+	}
+	// The lazy clear must have dropped the stale references.
+	for _, p := range got[:cap(got)] {
+		if p != nil {
+			t.Fatal("Scratch retained a reference across Reset")
+		}
+	}
+}
+
+func TestScratchSteadyStateNoAllocs(t *testing.T) {
+	var a Arena
+	s := NewScratch[int](&a)
+	// Warm to a stable capacity.
+	for i := 0; i < 4; i++ {
+		buf := s.Take()
+		for j := 0; j < 64; j++ {
+			buf = append(buf, j)
+		}
+		s.Keep(buf)
+		a.Reset()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := s.Take()
+		for j := 0; j < 64; j++ {
+			buf = append(buf, j)
+		}
+		s.Keep(buf)
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scratch cycle allocates: %v allocs/run", allocs)
+	}
+}
+
+func TestPartitionArenaResetAtBarrier(t *testing.T) {
+	pe := twoPartTraffic(1)
+	g0 := pe.Partition(0).Arena().Gen()
+	pe.RunUntil(Time(10 * Microsecond))
+	if got := pe.Partition(0).Arena().Gen(); got == g0 {
+		t.Fatal("partition arena generation did not advance across barriers")
+	}
+	if pe.Partition(0).Arena().Gen() != pe.Partition(1).Arena().Gen() {
+		t.Fatal("partition arenas out of step")
+	}
+}

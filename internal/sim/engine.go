@@ -124,6 +124,13 @@ func (e *Engine) Cancel(id EventID) {
 // events not yet popped).
 func (e *Engine) Pending() int { return e.q.size() }
 
+// ForEachPending invokes fn for every still-queued typed event record, in
+// slot order (not dispatch order). Closure-lane events are skipped — their
+// captures are opaque. Callers use this for accounting over a halted engine
+// (the packet-leak audit walks it to find frames carried by in-flight
+// EvPacketHop/EvLoopback events), never for simulation semantics.
+func (e *Engine) ForEachPending(fn func(Event)) { e.q.forEachPending(fn) }
+
 // Halt stops the run loop after the current event returns.
 func (e *Engine) Halt() { e.halted = true }
 

@@ -65,6 +65,21 @@ const (
 	// EvAppTick is a generic application/benchmark tick for harness models
 	// (the §5 engine-comparison probe): Tgt is harness-defined.
 	EvAppTick
+	// EvLoopback delivers a locally-addressed packet after the loopback
+	// latency: Tgt is the *kernel.Machine, Ref the *packet.Packet. Typed (not
+	// a closure) so the in-flight packet is enumerable for release accounting
+	// and the loopback fast path allocates nothing.
+	EvLoopback
+	// EvThreadWake wakes a sleeping thread when its nanosleep expires: Tgt is
+	// the *kernel.Thread. Typed because every think-time sleep costs one;
+	// a per-sleep capturing closure was a measurable fraction of the model's
+	// per-request allocations.
+	EvThreadWake
+	// EvThreadWakeBlocked wakes a thread only if it is still blocked on a wait
+	// queue — the receive-timeout timer (SO_RCVTIMEO, epoll_wait timeout).
+	// Distinct from EvThreadWake because a stale timeout must never wake a
+	// thread that has since gone to sleep.
+	EvThreadWakeBlocked
 
 	numEvKinds // table size; must stay last
 )
@@ -75,15 +90,18 @@ const (
 const evClosure EvKind = 0xFF
 
 var evKindNames = [numEvKinds]string{
-	evNone:         "evNone",
-	EvPacketHop:    "EvPacketHop",
-	EvSwitchTxDone: "EvSwitchTxDone",
-	EvSwitchWake:   "EvSwitchWake",
-	EvNicTx:        "EvNicTx",
-	EvNicRxIntr:    "EvNicRxIntr",
-	EvTimerTick:    "EvTimerTick",
-	EvKernelSpan:   "EvKernelSpan",
-	EvAppTick:      "EvAppTick",
+	evNone:              "evNone",
+	EvPacketHop:         "EvPacketHop",
+	EvSwitchTxDone:      "EvSwitchTxDone",
+	EvSwitchWake:        "EvSwitchWake",
+	EvNicTx:             "EvNicTx",
+	EvNicRxIntr:         "EvNicRxIntr",
+	EvTimerTick:         "EvTimerTick",
+	EvKernelSpan:        "EvKernelSpan",
+	EvAppTick:           "EvAppTick",
+	EvLoopback:          "EvLoopback",
+	EvThreadWake:        "EvThreadWake",
+	EvThreadWakeBlocked: "EvThreadWakeBlocked",
 }
 
 // String names the kind for panics and traces.

@@ -61,8 +61,11 @@ type ParallelEngine struct {
 	// exact at every quantum barrier (workers fold their partitions' minima,
 	// message delivery folds in delivered timestamps).
 	earliest Time
-	// pending is the reusable barrier-exchange merge buffer.
-	pending []xmsg
+	// arena is the coordinator's per-quantum scratch arena, reset at every
+	// barrier; pending (the barrier-exchange merge buffer) is its first
+	// tenant. Partitions carry their own arenas (see Partition.Arena).
+	arena   Arena
+	pending *Scratch[xmsg]
 
 	// failedCrossCancels counts Cancel calls with a non-zero EventID through
 	// a Cross scheduler (see crossScheduler.Cancel). Atomic: workers may
@@ -90,6 +93,10 @@ type Partition struct {
 	// messages for in the current quantum (first-touch order), so the
 	// barrier exchange visits only populated edges instead of all P^2.
 	dirty []int32
+	// arena is the partition's per-quantum scratch arena (see arena.go),
+	// reset by the coordinator at every barrier. Only this partition's
+	// worker may touch it between barriers.
+	arena Arena
 }
 
 // xslab is one edge's reusable message batch.
@@ -141,6 +148,7 @@ func NewParallelEngine(n int, quantum Duration) *ParallelEngine {
 	}
 	pe := &ParallelEngine{quantum: quantum, workers: 1}
 	pe.handlers = new(handlerTable)
+	pe.pending = NewScratch[xmsg](&pe.arena)
 	pe.edges = make([]xslab, n*n)
 	for i := 0; i < n; i++ {
 		eng := NewEngine()
@@ -228,6 +236,16 @@ func (p *Partition) Cancel(id EventID) { p.eng.Cancel(id) }
 
 // Pending reports the number of events queued on the partition.
 func (p *Partition) Pending() int { return p.eng.Pending() }
+
+// Arena returns the partition's per-quantum scratch arena. The coordinator
+// resets it at every barrier, so Scratch buffers bound to it (sim.NewScratch)
+// are valid for exactly the quantum in progress. Touch it only from this
+// partition's event context.
+func (p *Partition) Arena() *Arena { return &p.arena }
+
+// ForEachPending invokes fn for every typed event still queued on the
+// partition; see Engine.ForEachPending. Call only on a halted engine.
+func (p *Partition) ForEachPending(fn func(Event)) { p.eng.ForEachPending(fn) }
 
 // Send delivers fn to partition dst at absolute time at; it is shorthand for
 // ParallelEngine.Send from this partition.
@@ -357,9 +375,13 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 		// cost scales with traffic, not with P^2), merge in (time, source
 		// partition, send sequence) order — a total order that depends only
 		// on the model — and bulk-schedule into the destination engines.
-		// The merge buffer and the edge slabs are reused quantum after
-		// quantum: reset, never reallocated.
-		pending := pe.pending[:0]
+		// The merge buffer is arena scratch and the edge slabs are reused
+		// quantum after quantum: reset, never reallocated.
+		pe.arena.Reset()
+		for _, p := range pe.parts {
+			p.arena.Reset()
+		}
+		pending := pe.pending.Take()
 		np := len(pe.parts)
 		for _, p := range pe.parts {
 			if len(p.dirty) == 0 {
@@ -388,8 +410,8 @@ func (pe *ParallelEngine) RunUntil(deadline Time) {
 				pe.earliest = m.at
 			}
 		}
-		clear(pending) // release delivered payloads held by the reused buffer
-		pe.pending = pending[:0]
+		clear(pending) // release delivered payloads before the workers resume
+		pe.pending.Keep(pending[:0])
 	}
 
 	// On a drained or deadline exit, advance lagging partition clocks to the

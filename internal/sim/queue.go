@@ -363,6 +363,17 @@ func (q *eventQueue) popHead() (at Time, fn func(), ev Event) {
 	return ent.at, fn, ev
 }
 
+// forEachPending invokes fn for every still-queued typed-lane record, in slot
+// order (not dispatch order). Closure-lane and cancelled slots are skipped.
+func (q *eventQueue) forEachPending(fn func(Event)) {
+	for i := range q.slots {
+		rec := &q.slots[i]
+		if rec.kind != evNone && rec.kind != evClosure {
+			fn(rec.ev)
+		}
+	}
+}
+
 // --- 4-ary min-heap (tier 3) -----------------------------------------------
 
 func (q *eventQueue) farPush(ent entry) {

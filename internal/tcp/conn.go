@@ -723,18 +723,17 @@ func (c *Conn) emit(seq uint32, n int, flags packet.TCPFlags, bounds []Boundary)
 		payload = bounds
 	}
 	wnd := c.rcvWindow()
-	pkt := &packet.Packet{
-		Src:          c.Local,
-		Dst:          c.Remote,
-		Proto:        packet.ProtoTCP,
-		PayloadBytes: n,
-		Payload:      payload,
-		TCP: packet.TCPHdr{
-			Flags:  flags,
-			Seq:    seq,
-			Ack:    c.rcvNxt,
-			Window: uint32(wnd),
-		},
+	pkt := c.env.NewPacket()
+	pkt.Src = c.Local
+	pkt.Dst = c.Remote
+	pkt.Proto = packet.ProtoTCP
+	pkt.PayloadBytes = n
+	pkt.Payload = payload
+	pkt.TCP = packet.TCPHdr{
+		Flags:  flags,
+		Seq:    seq,
+		Ack:    c.rcvNxt,
+		Window: uint32(wnd),
 	}
 	c.Stats.SegsOut++
 	c.env.Output(pkt)

@@ -17,6 +17,7 @@ type testEnv struct {
 	sent  int
 }
 
+func (e *testEnv) NewPacket() *packet.Packet            { return &packet.Packet{} }
 func (e *testEnv) Now() sim.Time                        { return e.eng.Now() }
 func (e *testEnv) At(t sim.Time, fn func()) sim.EventID { return e.eng.At(t, fn) }
 func (e *testEnv) Cancel(id sim.EventID)                { e.eng.Cancel(id) }

@@ -36,6 +36,10 @@ type Env interface {
 	// Output transmits a fully-formed segment (the host fills in the route
 	// and charges TX processing costs).
 	Output(pkt *packet.Packet)
+	// NewPacket allocates the segment Output will carry, from the host's
+	// packet pool when it has one. Ownership transfers back to the host at
+	// Output; the connection never retains a segment it emitted.
+	NewPacket() *packet.Packet
 }
 
 // Config holds the tunables of the simulated stack.

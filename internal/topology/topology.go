@@ -159,9 +159,9 @@ func (t *Topology) SwitchCount(src, dst packet.NodeID) int {
 }
 
 // Route returns the source route from src to dst: the egress port consumed
-// at each switch along the path. It panics on out-of-range nodes (a wiring
-// bug, not a runtime condition).
-func (t *Topology) Route(src, dst packet.NodeID) []uint8 {
+// at each switch along the path, as an allocation-free inline value. It
+// panics on out-of-range nodes (a wiring bug, not a runtime condition).
+func (t *Topology) Route(src, dst packet.NodeID) packet.Route {
 	n := packet.NodeID(t.Servers())
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		panic(fmt.Sprintf("topology: route %d->%d outside 0..%d", src, dst, n-1))
@@ -170,15 +170,15 @@ func (t *Topology) Route(src, dst packet.NodeID) []uint8 {
 	dstPort := uint8(t.IndexInRack(dst))
 	if sr == dr {
 		// ToR only.
-		return []uint8{dstPort}
+		return packet.MakeRoute(dstPort)
 	}
 	up := uint8(t.TorUplinkPort())
 	if t.ArrayOf(sr) == t.ArrayOf(dr) {
 		// ToR -> array -> ToR.
-		return []uint8{up, uint8(t.RackInArray(dr)), dstPort}
+		return packet.MakeRoute(up, uint8(t.RackInArray(dr)), dstPort)
 	}
 	// ToR -> array -> DC -> array -> ToR.
-	return []uint8{up, uint8(t.ArrayUplinkPort()), uint8(t.ArrayOf(dr)), uint8(t.RackInArray(dr)), dstPort}
+	return packet.MakeRoute(up, uint8(t.ArrayUplinkPort()), uint8(t.ArrayOf(dr)), uint8(t.RackInArray(dr)), dstPort)
 }
 
 // String summarizes the topology.

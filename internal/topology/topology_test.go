@@ -69,24 +69,18 @@ func TestRouteShapes(t *testing.T) {
 	tp := paper()
 	// Local: one entry, the destination's ToR port.
 	r := tp.Route(0, 5)
-	if len(r) != 1 || r[0] != 5 {
+	if r != packet.MakeRoute(5) {
 		t.Fatalf("local route = %v", r)
 	}
 	// Same array: up, rack-in-array, server.
 	r = tp.Route(0, tp.Node(3, 7))
-	if len(r) != 3 || r[0] != 31 || r[1] != 3 || r[2] != 7 {
+	if r != packet.MakeRoute(31, 3, 7) {
 		t.Fatalf("one-hop route = %v", r)
 	}
 	// Cross array: up, up, array, rack-in-array, server.
 	r = tp.Route(0, tp.Node(16*2+5, 9))
-	want := []uint8{31, 16, 2, 5, 9}
-	if len(r) != 5 {
-		t.Fatalf("two-hop route = %v", r)
-	}
-	for i := range want {
-		if r[i] != want[i] {
-			t.Fatalf("two-hop route = %v, want %v", r, want)
-		}
+	if r != packet.MakeRoute(31, 16, 2, 5, 9) {
+		t.Fatalf("two-hop route = %v, want [31 16 2 5 9]", r)
 	}
 }
 
@@ -101,19 +95,19 @@ func TestRouteProperty(t *testing.T) {
 		r := tp.Route(src, dst)
 		switch tp.Hops(src, dst) {
 		case Local:
-			return len(r) == 1 && int(r[0]) < p.ServersPerRack
+			return r.Len() == 1 && int(r.At(0)) < p.ServersPerRack
 		case OneHop:
-			return len(r) == 3 &&
-				int(r[0]) == p.ServersPerRack &&
-				int(r[1]) < p.RacksPerArray &&
-				int(r[2]) < p.ServersPerRack
+			return r.Len() == 3 &&
+				int(r.At(0)) == p.ServersPerRack &&
+				int(r.At(1)) < p.RacksPerArray &&
+				int(r.At(2)) < p.ServersPerRack
 		default:
-			return len(r) == 5 &&
-				int(r[0]) == p.ServersPerRack &&
-				int(r[1]) == p.RacksPerArray &&
-				int(r[2]) < p.Arrays &&
-				int(r[3]) < p.RacksPerArray &&
-				int(r[4]) < p.ServersPerRack
+			return r.Len() == 5 &&
+				int(r.At(0)) == p.ServersPerRack &&
+				int(r.At(1)) == p.RacksPerArray &&
+				int(r.At(2)) < p.Arrays &&
+				int(r.At(3)) < p.RacksPerArray &&
+				int(r.At(4)) < p.ServersPerRack
 		}
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
@@ -130,7 +124,7 @@ func TestSingleRack(t *testing.T) {
 		t.Fatalf("single rack wrong shape: %v", tp)
 	}
 	r := tp.Route(3, 17)
-	if len(r) != 1 || r[0] != 17 {
+	if r != packet.MakeRoute(17) {
 		t.Fatalf("route = %v", r)
 	}
 }

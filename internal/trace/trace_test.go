@@ -119,7 +119,7 @@ func TestPacketCopySemantics(t *testing.T) {
 	now := sim.Time(0)
 	tr := New(clockAt(&now), 8, nil)
 	p := mkpkt(1, 2, packet.ProtoUDP, 9)
-	p.Route = []uint8{7}
+	p.Route = packet.MakeRoute(7)
 	tr.Packet(KindDeliver, "x", p)
 	p.Src.Node = 99 // later mutation must not alter history
 	if tr.Events()[0].Pkt.Src.Node != 1 {

@@ -153,7 +153,7 @@ func TestMixedRateUplink(t *testing.T) {
 
 	eng.At(0, func() {
 		for i := 0; i < 5; i++ {
-			p := &packet.Packet{Proto: packet.ProtoUDP, PayloadBytes: 1400, Route: []uint8{3}}
+			p := &packet.Packet{Proto: packet.ProtoUDP, PayloadBytes: 1400, Route: packet.MakeRoute(3)}
 			hosts[0].Send(p)
 		}
 	})

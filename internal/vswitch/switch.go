@@ -34,15 +34,42 @@ type qpkt struct {
 	input    int
 }
 
+// qring is a head-indexed FIFO of buffered packets (same pattern as
+// kernel.Machine.kq): popping advances head and the backing array is reused
+// once drained, so steady-state forwarding allocates nothing.
+type qring struct {
+	q    []qpkt
+	head int
+}
+
+func (r *qring) empty() bool { return r.head == len(r.q) }
+
+// headPkt returns the queue head in place; the pointer is valid only until
+// the next pop.
+func (r *qring) headPkt() *qpkt { return &r.q[r.head] }
+
+func (r *qring) push(p qpkt) { r.q = append(r.q, p) }
+
+func (r *qring) pop() qpkt {
+	p := r.q[r.head]
+	r.q[r.head] = qpkt{}
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	}
+	return p
+}
+
 // outPort is the egress side of one switch port.
 type outPort struct {
 	idx      int // port index, the Obj payload of this port's typed events
 	link     *link.Link
 	occupied int // per-output buffer occupancy (ArchDropTail)
 	// voq[i] is the virtual output queue from input i (ArchVOQ); fifo is the
-	// single output queue (ArchSharedOutput).
-	voq    [][]qpkt
-	fifo   []qpkt
+	// single output queue (ArchSharedOutput / ArchDropTail).
+	voq    []qring
+	fifo   qring
 	queued int // packets waiting on this output
 	rr     int // round-robin pointer over inputs
 	busy   bool
@@ -62,6 +89,7 @@ type Switch struct {
 	in       []inPort
 	out      []*outPort
 	occupied int // total buffered bytes
+	pool     *packet.Pool
 
 	failed    bool
 	portImp   []PortImpairment // per ingress port; allocated on first use
@@ -124,7 +152,7 @@ func New(sched sim.Scheduler, params Params) (*Switch, error) {
 	for i := range sw.out {
 		op := &outPort{idx: i, wakeAt: sim.Never}
 		if params.Arch == ArchVOQ {
-			op.voq = make([][]qpkt, params.Ports)
+			op.voq = make([]qring, params.Ports)
 		}
 		sw.out[i] = op
 	}
@@ -152,6 +180,11 @@ func (s *Switch) OutputLink(i int) *link.Link { return s.out[i].link }
 func (s *Switch) PortStats(i int) (tx metrics.Counter, drops uint64) {
 	return s.out[i].Tx, s.out[i].Drops
 }
+
+// SetPool attaches the partition's packet pool. Every path on which the
+// switch is a frame's final consumer — buffer drop, fault drop, route error —
+// returns the slot here; a nil pool leaves the switch in unpooled heap mode.
+func (s *Switch) SetPool(p *packet.Pool) { s.pool = p }
 
 // SetFaultRand installs the deterministic stream for probabilistic port
 // impairments. Seeded once by the fault layer before the run; consumed only
@@ -195,6 +228,9 @@ func (s *Switch) faultDrop(in int, pkt *packet.Packet, corrupted bool) {
 	if s.OnFaultDrop != nil {
 		s.OnFaultDrop(in, pkt)
 	}
+	// The fault layer is the frame's final consumer; release after the
+	// observability hook has seen it.
+	s.pool.Release(pkt)
 }
 
 // receive handles a frame arriving on input port in.
@@ -218,6 +254,7 @@ func (s *Switch) receive(in int, pkt *packet.Packet) {
 	outIdx := pkt.NextRoutePort()
 	if outIdx < 0 || outIdx >= len(s.out) || s.out[outIdx].link == nil {
 		s.Stats.RouteErrors++
+		s.pool.Release(pkt)
 		return
 	}
 	op := s.out[outIdx]
@@ -274,9 +311,9 @@ func (s *Switch) receive(in int, pkt *packet.Packet) {
 
 	q := qpkt{pkt: pkt, eligible: eligible, bytes: size, input: in}
 	if s.params.Arch == ArchVOQ {
-		op.voq[in] = append(op.voq[in], q)
+		op.voq[in].push(q)
 	} else {
-		op.fifo = append(op.fifo, q)
+		op.fifo.push(q)
 	}
 	op.queued++
 	s.dispatch(op)
@@ -289,6 +326,8 @@ func (s *Switch) drop(op *outPort, in int, pkt *packet.Packet) {
 	if s.OnDrop != nil {
 		s.OnDrop(in, pkt)
 	}
+	// Tail drop makes the switch the frame's final consumer.
+	s.pool.Release(pkt)
 }
 
 // dispatch starts transmission on op if it is idle and a packet is eligible.
@@ -297,7 +336,8 @@ func (s *Switch) dispatch(op *outPort) {
 		return
 	}
 	now := s.sched.Now()
-	var chosen *qpkt
+	var chosen qpkt
+	have := false
 	var nextEligible = sim.Never
 
 	if s.params.Arch == ArchVOQ {
@@ -307,32 +347,33 @@ func (s *Switch) dispatch(op *outPort) {
 		n := len(op.voq)
 		for k := 0; k < n; k++ {
 			i := (op.rr + k) % n
-			q := op.voq[i]
-			if len(q) == 0 {
+			r := &op.voq[i]
+			if r.empty() {
 				continue
 			}
-			if q[0].eligible <= now {
-				chosen = &q[0]
-				op.voq[i] = q[1:]
+			h := r.headPkt()
+			if h.eligible <= now {
+				chosen = r.pop()
+				have = true
 				op.rr = (i + 1) % n
 				break
 			}
-			if q[0].eligible < nextEligible {
-				nextEligible = q[0].eligible
+			if h.eligible < nextEligible {
+				nextEligible = h.eligible
 			}
 		}
 	} else {
-		if len(op.fifo) > 0 {
-			if op.fifo[0].eligible <= now {
-				chosen = &op.fifo[0]
-				op.fifo = op.fifo[1:]
+		if !op.fifo.empty() {
+			if h := op.fifo.headPkt(); h.eligible <= now {
+				chosen = op.fifo.pop()
+				have = true
 			} else {
-				nextEligible = op.fifo[0].eligible
+				nextEligible = h.eligible
 			}
 		}
 	}
 
-	if chosen == nil {
+	if !have {
 		// Nothing eligible yet; wake when the earliest head matures. Typed
 		// event: Arg carries the eligibility time this wake was armed for,
 		// so a superseded wake (an earlier head arrived meanwhile) can tell
@@ -386,6 +427,28 @@ func RegisterEventHandlers(r sim.HandlerRegistrar) {
 		}
 		s.dispatch(op)
 	})
+}
+
+// ReleaseInFlight returns every frame still buffered in the output queues to
+// the pool and empties them. Part of the cluster-wide leak audit after Halt.
+// A frame mid-transmission on an egress link is owned by the wire (pending
+// EvPacketHop or already fault-released), not the switch, so there is nothing
+// to skip here: dispatch pops a frame before handing it to the link.
+func (s *Switch) ReleaseInFlight() {
+	for _, op := range s.out {
+		for i := range op.voq {
+			r := &op.voq[i]
+			for !r.empty() {
+				s.pool.Release(r.pop().pkt)
+			}
+		}
+		for !op.fifo.empty() {
+			s.pool.Release(op.fifo.pop().pkt)
+		}
+		op.queued = 0
+		op.occupied = 0
+	}
+	s.occupied = 0
 }
 
 // Occupied returns the currently buffered bytes across the switch.

@@ -52,7 +52,7 @@ func (r *rig) sendAt(at sim.Time, src, dst, payload int) {
 			Dst:          packet.Addr{Node: packet.NodeID(dst)},
 			Proto:        packet.ProtoUDP,
 			PayloadBytes: payload,
-			Route:        []uint8{uint8(dst)},
+			Route:        packet.MakeRoute(uint8(dst)),
 		}
 		r.hosts[src].Send(p)
 	})
@@ -78,7 +78,7 @@ func TestForwarding(t *testing.T) {
 func TestRouteErrorCounted(t *testing.T) {
 	r := newRig(t, Gigabit1GShallow("tor", 2))
 	r.eng.At(0, func() {
-		p := &packet.Packet{Proto: packet.ProtoUDP, PayloadBytes: 100, Route: []uint8{9}}
+		p := &packet.Packet{Proto: packet.ProtoUDP, PayloadBytes: 100, Route: packet.MakeRoute(9)}
 		r.hosts[0].Send(p)
 	})
 	r.eng.Run()
