@@ -6,6 +6,7 @@
 //	diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W] [-faults SPEC]
 //	                [-trace-out FILE] [-manifest-out FILE]
 //	diablo all  [-requests N] [-iterations N]
+//	diablo validate FILE...
 //
 // IDs follow the paper: fig2, table1, table2, proto, fig6a, fig6b, fig8,
 // fig9, fig10, fig11, fig12, fig13, fig14, fig15, perf — plus the
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"diablo"
+	"diablo/internal/campaign"
 )
 
 func main() {
@@ -55,6 +57,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "diablo:", e.ID, err)
 				os.Exit(1)
 			}
+		}
+	case "validate":
+		// Schema-aware artifact validation (traces, manifests, campaign
+		// specs/reports/diffs) — the CI smoke on uploaded artifacts.
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		for _, path := range os.Args[2:] {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "diablo:", err)
+				os.Exit(1)
+			}
+			kind, err := campaign.ValidateArtifact(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "diablo: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("ok %-16s %s\n", kind, path)
 		}
 	default:
 		usage()
@@ -116,5 +138,6 @@ func usage() {
   diablo list
   diablo run <id> [-requests N] [-iterations N] [-senders 1,2,4] [-seed S] [-partitions W] [-faults SPEC]
              [-trace-out FILE] [-manifest-out FILE]
-  diablo all [flags]`)
+  diablo all [flags]
+  diablo validate FILE...`)
 }

@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"fmt"
+
+	"diablo/internal/sim"
+	"diablo/internal/topology"
+)
+
+// Cell is one enumerated scenario: a fully resolved point in the sweep
+// space, with the seed that makes it independently replayable.
+type Cell struct {
+	// Index is the cell's position in enumeration order — the order results
+	// aggregate in, whatever order execution completes in.
+	Index int
+	// Name is the canonical "<shape>/<profile>/<workload>/<draw>" cell id.
+	Name string
+	// Seed is the cell's master seed, derived from the campaign seed and the
+	// cell name. It seeds the cluster and (on faulted cells) the fault plan;
+	// recording it in the cell manifest is what makes the cell replayable.
+	Seed uint64
+
+	Topology TopologyAxis
+	Shape    topology.Params
+	Profile  string
+	Workload WorkloadAxis
+	// Draw is the Monte-Carlo fault draw: 0 = unfaulted baseline.
+	Draw int
+	// BaselineIndex locates the combo's unfaulted baseline cell (== Index on
+	// baseline cells themselves).
+	BaselineIndex int
+}
+
+// Baseline reports whether the cell is its combination's unfaulted baseline.
+func (c Cell) Baseline() bool { return c.Draw == 0 }
+
+// DrawName renders the fault-draw coordinate ("baseline", "fault-01", ...).
+func (c Cell) DrawName() string { return drawName(c.Draw) }
+
+func drawName(draw int) string {
+	if draw == 0 {
+		return "baseline"
+	}
+	return fmt.Sprintf("fault-%02d", draw)
+}
+
+// Cells enumerates the spec's cell set in the canonical order: topologies
+// (outer), profiles, workloads, then draw 0..Draws. The enumeration is a
+// pure function of the spec — same spec, same cells, same seeds.
+func (s *Spec) Cells() ([]Cell, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, t := range s.Topologies {
+		shape, err := topology.ParseShape(t.Shape)
+		if err != nil {
+			return nil, err
+		}
+		for _, prof := range s.Profiles {
+			for _, wl := range s.Workloads {
+				baseline := len(cells)
+				for draw := 0; draw <= s.Faults.Draws; draw++ {
+					name := fmt.Sprintf("%s/%s/%s/%s", shape.ShapeName(), prof, wl.Name, drawName(draw))
+					cells = append(cells, Cell{
+						Index:         len(cells),
+						Name:          name,
+						Seed:          sim.DeriveSeed(s.MasterSeed, "campaign/"+s.Name+"/cell/"+name),
+						Topology:      t,
+						Shape:         shape,
+						Profile:       prof,
+						Workload:      wl,
+						Draw:          draw,
+						BaselineIndex: baseline,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// CellByName finds a cell in the spec's enumeration.
+func (s *Spec) CellByName(name string) (Cell, error) {
+	cells, err := s.Cells()
+	if err != nil {
+		return Cell{}, err
+	}
+	for _, c := range cells {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Cell{}, fmt.Errorf("campaign: no cell %q in spec %q", name, s.Name)
+}

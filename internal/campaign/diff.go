@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"diablo/internal/metrics"
+)
+
+// DiffSchema identifies the regression-diff JSON layout.
+const DiffSchema = "diablo/campaign-diff/v1"
+
+// Diff compares two campaign reports — typically the same spec run at two
+// git revisions. Cells match by name; a matched cell regresses when its
+// p99.9 inflates or its per-server throughput sags beyond the threshold.
+type Diff struct {
+	Schema string `json:"schema"`
+	// Threshold is the relative tolerance regressions are judged against.
+	Threshold float64 `json:"threshold"`
+	// Identical is the fast path: both aggregate hashes equal, so every cell
+	// manifest is byte-identical and no cell can have moved.
+	Identical bool `json:"identical"`
+
+	Matched int      `json:"matched"`
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+
+	// Deltas lists every matched cell in the new report's order.
+	Deltas []CellDelta `json:"deltas"`
+	// Regressions names the cells whose deltas exceed the threshold.
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// CellDelta is one matched cell's movement.
+type CellDelta struct {
+	Name string `json:"name"`
+	// P999Ratio is new/old p99.9 (1.0 = unchanged; 0 when the old side is 0).
+	P999Ratio float64 `json:"p999_ratio"`
+	// ThroughputRatio is new/old per-server throughput.
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// HashChanged reports whether the cell's manifest hash moved at all —
+	// any model change shows here even when the summary stats round away.
+	HashChanged bool    `json:"hash_changed"`
+	OldP999Us   float64 `json:"old_p999_us"`
+	NewP999Us   float64 `json:"new_p999_us"`
+	// Regressed mirrors membership in Diff.Regressions.
+	Regressed bool `json:"regressed,omitempty"`
+}
+
+func ratio(n, o float64) float64 {
+	if o <= 0 {
+		return 0
+	}
+	return n / o
+}
+
+// DiffReports compares old and new. threshold <= 0 defaults to 0.25 (25%):
+// wide enough to ride over Monte-Carlo-free deterministic noise (there is
+// none — cells are exact — so the slack only absorbs intended model changes
+// a revision ships on purpose; tighten it to catch smaller drifts).
+func DiffReports(oldRep, newRep *Report, threshold float64) *Diff {
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	d := &Diff{
+		Schema:    DiffSchema,
+		Threshold: threshold,
+		Identical: oldRep.AggregateHash == newRep.AggregateHash,
+	}
+	oldCells := make(map[string]*CellReport, len(oldRep.Cells))
+	for i := range oldRep.Cells {
+		oldCells[oldRep.Cells[i].Name] = &oldRep.Cells[i]
+	}
+	seen := make(map[string]bool, len(newRep.Cells))
+	for i := range newRep.Cells {
+		nc := &newRep.Cells[i]
+		seen[nc.Name] = true
+		oc, ok := oldCells[nc.Name]
+		if !ok {
+			d.Added = append(d.Added, nc.Name)
+			continue
+		}
+		d.Matched++
+		delta := CellDelta{
+			Name:            nc.Name,
+			P999Ratio:       ratio(nc.P999Us, oc.P999Us),
+			ThroughputRatio: ratio(nc.ThroughputPerServer, oc.ThroughputPerServer),
+			HashChanged:     nc.ManifestHash != oc.ManifestHash,
+			OldP999Us:       oc.P999Us,
+			NewP999Us:       nc.P999Us,
+		}
+		if (delta.P999Ratio > 1+threshold && oc.P999Us > 0) ||
+			(delta.ThroughputRatio < 1-threshold && oc.ThroughputPerServer > 0) {
+			delta.Regressed = true
+			d.Regressions = append(d.Regressions, nc.Name)
+		}
+		d.Deltas = append(d.Deltas, delta)
+	}
+	for _, oc := range oldRep.Cells {
+		if !seen[oc.Name] {
+			d.Removed = append(d.Removed, oc.Name)
+		}
+	}
+	return d
+}
+
+// HasRegressions reports whether any matched cell regressed.
+func (d *Diff) HasRegressions() bool { return len(d.Regressions) > 0 }
+
+// WriteJSON writes the diff as indented JSON.
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// RenderText renders the diff summary: changed cells only (plus the verdict
+// line), so a clean diff reads in one line.
+func (d *Diff) RenderText(w io.Writer) error {
+	if d.Identical {
+		_, err := fmt.Fprintf(w, "campaign diff: aggregate hashes identical (%d cells, byte-for-byte)\n", d.Matched)
+		return err
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("campaign diff (threshold %.0f%%, %d matched, +%d/-%d cells)", d.Threshold*100, d.Matched, len(d.Added), len(d.Removed)),
+		Columns: []string{"cell", "p99.9 old", "p99.9 new", "ratio", "tput ratio", "verdict"},
+	}
+	for _, c := range d.Deltas {
+		if !c.HashChanged && !c.Regressed {
+			continue
+		}
+		verdict := "moved"
+		if c.Regressed {
+			verdict = "REGRESSED"
+		} else if math.Abs(c.P999Ratio-1) < 1e-9 {
+			verdict = "hash only"
+		}
+		t.AddRow(c.Name,
+			fmt.Sprintf("%.4gus", c.OldP999Us),
+			fmt.Sprintf("%.4gus", c.NewP999Us),
+			fmt.Sprintf("%.2fx", c.P999Ratio),
+			fmt.Sprintf("%.2fx", c.ThroughputRatio),
+			verdict)
+	}
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+	for _, name := range d.Added {
+		fmt.Fprintf(w, "added:   %s\n", name)
+	}
+	for _, name := range d.Removed {
+		fmt.Fprintf(w, "removed: %s\n", name)
+	}
+	_, err := fmt.Fprintf(w, "regressions: %d\n", len(d.Regressions))
+	return err
+}

@@ -1,0 +1,53 @@
+package campaign
+
+import "fmt"
+
+// Presets returns the built-in campaign names.
+func Presets() []string { return []string{"smoke", "nightly"} }
+
+// Preset returns a built-in campaign spec by name.
+//
+//   - "smoke": the 8-cell CI gate — two small shapes × two kernels ×
+//     one UDP mix × (baseline + 1 fault draw). Seconds of wall clock; its
+//     report is the CAMPAIGN_results.json artifact every CI run uploads.
+//   - "nightly": the full-scale sweep — three paper-class shapes × two
+//     kernels × UDP and TCP mixes × (baseline + 19 fault draws) = 240
+//     cells of 248–496 nodes each.
+func Preset(name string) (*Spec, error) {
+	switch name {
+	case "smoke":
+		return &Spec{
+			Schema:     SpecSchema,
+			Name:       "smoke",
+			MasterSeed: 1,
+			Topologies: []TopologyAxis{
+				{Shape: "4x2x1", MemcachedServersPerRack: 1},
+				{Shape: "6x2x1", MemcachedServersPerRack: 1},
+			},
+			Profiles: []string{"linux-2.6.39.3", "linux-3.5.7"},
+			Workloads: []WorkloadAxis{
+				{Name: "udp-s", Proto: "udp", Requests: 6, Warmup: 1},
+			},
+			Faults: FaultAxis{Draws: 1, Events: 2, StartMs: 1, HorizonMs: 30, MeanDurMs: 20},
+		}, nil
+	case "nightly":
+		return &Spec{
+			Schema:     SpecSchema,
+			Name:       "nightly",
+			MasterSeed: 1,
+			Topologies: []TopologyAxis{
+				{Shape: "31x16x1", MemcachedServersPerRack: 2}, // the paper's 496-node array
+				{Shape: "31x8x1", MemcachedServersPerRack: 2},  // half the array fan-in (8:1 array oversub)
+				{Shape: "16x16x1", MemcachedServersPerRack: 2}, // half the rack fan-in (16:1 rack oversub)
+			},
+			Profiles: []string{"linux-2.6.39.3", "linux-3.5.7"},
+			Workloads: []WorkloadAxis{
+				{Name: "udp", Proto: "udp", Requests: 30, MaxClients: 64, Warmup: 3},
+				{Name: "tcp", Proto: "tcp", Requests: 30, MaxClients: 64, Warmup: 3},
+			},
+			Faults: FaultAxis{Draws: 19, Events: 3, StartMs: 5, HorizonMs: 200, MeanDurMs: 100},
+		}, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown preset %q (known: %v)", name, Presets())
+	}
+}

@@ -1,0 +1,278 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"diablo/internal/core"
+	"diablo/internal/metrics"
+	"diablo/internal/obs"
+	"diablo/internal/topology"
+)
+
+// ReportSchema identifies the campaign report JSON layout.
+const ReportSchema = "diablo/campaign-report/v1"
+
+// Report is the machine-readable record of one campaign: per-cell summaries
+// in enumeration order, degradation against each combo's baseline cell,
+// p99.9 surfaces across the sweep axes, and the campaign-level hash chaining
+// every cell manifest. The embedded spec makes the report self-replaying.
+type Report struct {
+	Schema     string       `json:"schema"`
+	Name       string       `json:"name"`
+	MasterSeed uint64       `json:"master_seed"`
+	Spec       Spec         `json:"spec"`
+	Cells      []CellReport `json:"cells"`
+	// Surfaces holds the p99.9 heatmaps (one per profile × workload, rows =
+	// topology shapes, cols = fault draws) and, when the sweep has fault
+	// draws, the matching p99.9-inflation degradation surfaces.
+	Surfaces []*metrics.Surface `json:"surfaces,omitempty"`
+	// AggregateHash chains every cell's manifest hash in enumeration order:
+	// the campaign's replay digest. Identical at any worker count.
+	AggregateHash string `json:"aggregate_hash"`
+}
+
+// CellReport is one cell's summary row.
+type CellReport struct {
+	Index         int    `json:"index"`
+	Name          string `json:"name"`
+	Seed          uint64 `json:"seed"`
+	Shape         string `json:"shape"`
+	Profile       string `json:"profile"`
+	Workload      string `json:"workload"`
+	Draw          int    `json:"draw"`
+	BaselineIndex int    `json:"baseline_index"`
+
+	StatsHash    string `json:"stats_hash"`
+	ManifestHash string `json:"manifest_hash"`
+
+	ElapsedPs   int64  `json:"elapsed_ps"`
+	Events      uint64 `json:"events"`
+	Clients     int    `json:"clients"`
+	Samples     uint64 `json:"samples"`
+	Attempted   uint64 `json:"attempted"`
+	Lost        uint64 `json:"lost"`
+	Retried     uint64 `json:"retried"`
+	FaultDrops  uint64 `json:"fault_drops"`
+	SwitchDrops uint64 `json:"switch_drops"`
+
+	MeanUs              float64 `json:"mean_us"`
+	P50Us               float64 `json:"p50_us"`
+	P99Us               float64 `json:"p99_us"`
+	P999Us              float64 `json:"p999_us"`
+	MaxUs               float64 `json:"max_us"`
+	ThroughputPerServer float64 `json:"throughput_per_server"`
+	MeanUtil            float64 `json:"mean_util"`
+
+	// Degradation compares the cell against its combo's baseline cell
+	// (nil on baseline cells).
+	Degradation *obs.DegradationJSON `json:"degradation,omitempty"`
+}
+
+// buildReport aggregates executed cells (already in enumeration order) into
+// the report. Pure: no clocks, no map iteration, no worker-count residue.
+func buildReport(spec *Spec, results []*CellResult) (*Report, error) {
+	rep := &Report{
+		Schema:     ReportSchema,
+		Name:       spec.Name,
+		MasterSeed: spec.MasterSeed,
+		Spec:       *spec,
+	}
+	hashes := make([]string, 0, len(results))
+	for _, cr := range results {
+		cell, res := cr.Cell, cr.Result
+		row := CellReport{
+			Index:         cell.Index,
+			Name:          cell.Name,
+			Seed:          cell.Seed,
+			Shape:         cell.Shape.ShapeName(),
+			Profile:       cell.Profile,
+			Workload:      cell.Workload.Name,
+			Draw:          cell.Draw,
+			BaselineIndex: cell.BaselineIndex,
+			StatsHash:     cr.Manifest.StatsHash,
+			ManifestHash:  cr.ManifestHash,
+			ElapsedPs:     int64(res.Elapsed),
+			Events:        cr.Manifest.Events,
+			Clients:       res.Clients,
+			Samples:       res.Samples,
+			Attempted:     res.Attempted,
+			Lost:          res.Lost(),
+			Retried:       res.Retried,
+			FaultDrops:    res.FaultDrops,
+			SwitchDrops:   res.SwitchDrops,
+			MeanUs:        res.Overall.Mean().Microseconds(),
+			P50Us:         res.Overall.Percentile(0.50).Microseconds(),
+			P99Us:         res.Overall.Percentile(0.99).Microseconds(),
+			P999Us:        res.Overall.Percentile(0.999).Microseconds(),
+			MaxUs:         res.Overall.Max().Microseconds(),
+
+			ThroughputPerServer: res.ThroughputPerServer(),
+			MeanUtil:            res.MeanUtil,
+		}
+		if !cell.Baseline() {
+			base := results[cell.BaselineIndex]
+			if base == nil || !base.Cell.Baseline() {
+				return nil, fmt.Errorf("campaign: cell %s points at baseline index %d which is not a baseline", cell.Name, cell.BaselineIndex)
+			}
+			d := &metrics.Degradation{
+				Name:            cell.Name,
+				Baseline:        base.Result.Overall,
+				Faulted:         res.Overall,
+				BaselineLost:    base.Result.Lost(),
+				FaultedLost:     res.Lost(),
+				BaselineRetried: base.Result.Retried,
+				FaultedRetried:  res.Retried,
+				FaultDrops:      res.FaultDrops,
+			}
+			row.Degradation = core.ManifestDegradation(d, res.Attempted)
+		}
+		rep.Cells = append(rep.Cells, row)
+		hashes = append(hashes, cell.Name+" "+cr.ManifestHash)
+	}
+	rep.Surfaces = buildSurfaces(spec, rep.Cells)
+	rep.AggregateHash = obs.AggregateHash(hashes)
+	return rep, nil
+}
+
+// buildSurfaces lays the cell grid out as p99.9 heatmaps: one surface per
+// (profile, workload) pane with topology shapes as rows and fault draws as
+// columns, plus a p99.9-inflation degradation surface per pane when the
+// sweep has fault draws.
+func buildSurfaces(spec *Spec, cells []CellReport) []*metrics.Surface {
+	rows := make([]string, len(spec.Topologies))
+	index := map[string]int{}
+	for i, t := range spec.Topologies {
+		p, err := ParseShapeName(t.Shape)
+		if err != nil {
+			rows[i] = t.Shape
+		} else {
+			rows[i] = p
+		}
+		index[rows[i]] = i
+	}
+	cols := make([]string, spec.Faults.Draws+1)
+	for d := range cols {
+		cols[d] = drawName(d)
+	}
+
+	var out []*metrics.Surface
+	for _, prof := range spec.Profiles {
+		for _, wl := range spec.Workloads {
+			pane := fmt.Sprintf("profile=%s workload=%s", prof, wl.Name)
+			p999 := metrics.NewSurface("p99.9 latency "+pane, "us", rows, cols)
+			var infl *metrics.Surface
+			if spec.Faults.Draws > 0 {
+				infl = metrics.NewSurface("p99.9 inflation vs baseline "+pane, "x", rows, cols[1:])
+			}
+			for _, c := range cells {
+				if c.Profile != prof || c.Workload != wl.Name {
+					continue
+				}
+				r, ok := index[c.Shape]
+				if !ok {
+					continue
+				}
+				p999.Set(r, c.Draw, c.P999Us)
+				if infl != nil && c.Degradation != nil {
+					infl.Set(r, c.Draw-1, c.Degradation.P999Inflation)
+				}
+			}
+			out = append(out, p999)
+			if infl != nil {
+				out = append(out, infl)
+			}
+		}
+	}
+	return out
+}
+
+// ParseShapeName canonicalizes a shape string through the topology grammar.
+func ParseShapeName(s string) (string, error) {
+	p, err := topology.ParseShape(s)
+	if err != nil {
+		return "", err
+	}
+	return p.ShapeName(), nil
+}
+
+// WriteJSON writes the report as indented JSON — the byte-stable
+// CAMPAIGN_results.json artifact.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// EncodeJSON renders the report to its canonical byte form.
+func (r *Report) EncodeJSON() ([]byte, error) {
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// DecodeReport parses an encoded report and checks its schema tag.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("campaign: report decode: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("campaign: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// RenderText renders the human-readable summary: the per-cell table, the
+// cross-cell degradation table, and the ASCII heatmaps.
+func (r *Report) RenderText(w io.Writer) error {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("campaign %s (%d cells, seed %d, %s)", r.Name, len(r.Cells), r.MasterSeed, r.AggregateHash),
+		Columns: []string{"cell", "p50", "p99", "p99.9", "tput/srv", "lost", "fault drops"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Name,
+			fmt.Sprintf("%.4gus", c.P50Us),
+			fmt.Sprintf("%.4gus", c.P99Us),
+			fmt.Sprintf("%.4gus", c.P999Us),
+			fmt.Sprintf("%.4g/s", c.ThroughputPerServer),
+			fmt.Sprint(c.Lost),
+			fmt.Sprint(c.FaultDrops))
+	}
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+	var degRows []metrics.DegradationRow
+	for _, c := range r.Cells {
+		if c.Degradation == nil {
+			continue
+		}
+		degRows = append(degRows, metrics.DegradationRow{
+			Cell:          c.Name,
+			P50Inflation:  c.Degradation.P50Inflation,
+			P99Inflation:  c.Degradation.P99Inflation,
+			P999Inflation: c.Degradation.P999Inflation,
+			LossRate:      c.Degradation.LossRate,
+			FaultDrops:    c.Degradation.FaultDrops,
+		})
+	}
+	if len(degRows) > 0 {
+		dt := metrics.DegradationSummaryTable("degradation vs unfaulted baseline cells", degRows)
+		if _, err := io.WriteString(w, dt.String()); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Surfaces {
+		if _, err := io.WriteString(w, s.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package campaign
+
+// Artifact validation: the Go replacement for the `python3 -c "json.load"`
+// smoke CI used to run on sample artifacts. Beyond well-formedness it checks
+// each schema's structural invariants, and for campaign reports it recomputes
+// the aggregate hash from the per-cell manifest hashes — a corrupted or
+// hand-edited report fails validation even though it parses.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"diablo/internal/obs"
+)
+
+// ValidateArtifact recognizes and validates one artifact JSON: a run
+// manifest, a campaign spec, a campaign report, a campaign diff, or a Chrome
+// trace-event file. Returns the artifact kind on success.
+func ValidateArtifact(data []byte) (string, error) {
+	var probe struct {
+		Schema      string            `json:"schema"`
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("campaign: not valid JSON: %w", err)
+	}
+	switch {
+	case probe.Schema == obs.ManifestSchema:
+		return "run-manifest", validateManifest(data)
+	case probe.Schema == ReportSchema:
+		return "campaign-report", validateReport(data)
+	case probe.Schema == SpecSchema:
+		_, err := ParseSpec(data)
+		return "campaign-spec", err
+	case probe.Schema == DiffSchema:
+		return "campaign-diff", nil
+	case probe.TraceEvents != nil:
+		return "chrome-trace", validateTrace(probe.TraceEvents)
+	case probe.Schema != "":
+		return "", fmt.Errorf("campaign: unknown schema %q", probe.Schema)
+	default:
+		return "", fmt.Errorf("campaign: unrecognized artifact (no schema tag, no traceEvents)")
+	}
+}
+
+func validateManifest(data []byte) error {
+	m, err := obs.DecodeManifest(data)
+	if err != nil {
+		return err
+	}
+	if m.Experiment == "" {
+		return fmt.Errorf("campaign: manifest has no experiment id")
+	}
+	if m.StatsHash == "" {
+		return fmt.Errorf("campaign: manifest has no stats hash")
+	}
+	if m.ElapsedPs < 0 {
+		return fmt.Errorf("campaign: manifest elapsed_ps %d negative", m.ElapsedPs)
+	}
+	for _, s := range m.Series {
+		if len(s.AtPs) != len(s.Values) {
+			return fmt.Errorf("campaign: manifest series %q: %d timestamps vs %d values", s.Name, len(s.AtPs), len(s.Values))
+		}
+	}
+	return nil
+}
+
+func validateReport(data []byte) error {
+	r, err := DecodeReport(data)
+	if err != nil {
+		return err
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return fmt.Errorf("campaign: embedded spec: %w", err)
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("campaign: report has no cells")
+	}
+	hashes := make([]string, 0, len(r.Cells))
+	for i, c := range r.Cells {
+		if c.Index != i {
+			return fmt.Errorf("campaign: cell %q at position %d has index %d (order corrupted)", c.Name, i, c.Index)
+		}
+		if c.StatsHash == "" || c.ManifestHash == "" {
+			return fmt.Errorf("campaign: cell %q missing hashes", c.Name)
+		}
+		if c.BaselineIndex < 0 || c.BaselineIndex >= len(r.Cells) {
+			return fmt.Errorf("campaign: cell %q baseline index %d out of range", c.Name, c.BaselineIndex)
+		}
+		if c.Draw == 0 && c.BaselineIndex != c.Index {
+			return fmt.Errorf("campaign: baseline cell %q points at %d, not itself", c.Name, c.BaselineIndex)
+		}
+		if c.Draw > 0 && c.Degradation == nil {
+			return fmt.Errorf("campaign: faulted cell %q has no degradation entry", c.Name)
+		}
+		hashes = append(hashes, c.Name+" "+c.ManifestHash)
+	}
+	if got := obs.AggregateHash(hashes); got != r.AggregateHash {
+		return fmt.Errorf("campaign: aggregate hash %s does not match cells (recomputed %s)", r.AggregateHash, got)
+	}
+	for _, s := range r.Surfaces {
+		if len(s.Values) != len(s.Rows) {
+			return fmt.Errorf("campaign: surface %q: %d value rows vs %d row labels", s.Name, len(s.Values), len(s.Rows))
+		}
+		for _, row := range s.Values {
+			if len(row) != len(s.Cols) {
+				return fmt.Errorf("campaign: surface %q: ragged row (%d cells vs %d col labels)", s.Name, len(row), len(s.Cols))
+			}
+		}
+	}
+	return nil
+}
+
+func validateTrace(events []json.RawMessage) error {
+	for i, raw := range events {
+		var ev struct {
+			Ph string `json:"ph"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("campaign: trace event %d: %w", i, err)
+		}
+		if ev.Ph == "" {
+			return fmt.Errorf("campaign: trace event %d has no phase (ph)", i)
+		}
+	}
+	return nil
+}

@@ -21,6 +21,11 @@ type MemcachedConfig struct {
 	// Arrays sets the scale: 1 -> 496 nodes ("500"), 2 -> 992 ("1000"),
 	// 4 -> 1984 ("2000").
 	Arrays int
+	// Topology, when non-zero, overrides the paper's fixed 31x16 Clos shape
+	// entirely (Arrays is then ignored). This is the campaign sweep's
+	// topology/oversubscription axis: ServersPerRack sets the rack
+	// over-subscription, RacksPerArray the array over-subscription.
+	Topology topology.Params
 	// ServersPerRack is the number of memcached server nodes per rack (2).
 	ServersPerRack int
 	// Proto selects UDP or TCP clients.
@@ -150,12 +155,18 @@ func (r *MemcachedResult) ThroughputPerServer() float64 {
 // Nodes returns the node count for an array count using the Figure 7 shape.
 func Nodes(arrays int) int { return 31 * 16 * arrays }
 
-// RunMemcached executes one configuration on the standard Figure 7 topology.
+// RunMemcached executes one configuration on the standard Figure 7 topology,
+// or on cfg.Topology when that override is set.
 func RunMemcached(cfg MemcachedConfig) (*MemcachedResult, error) {
-	if cfg.Arrays <= 0 {
-		return nil, fmt.Errorf("core: Arrays must be positive")
+	topoParams := cfg.Topology
+	if topoParams == (topology.Params{}) {
+		if cfg.Arrays <= 0 {
+			return nil, fmt.Errorf("core: Arrays must be positive")
+		}
+		topoParams = topology.Params{ServersPerRack: 31, RacksPerArray: 16, Arrays: cfg.Arrays}
+	} else if _, err := topology.New(topoParams); err != nil {
+		return nil, err
 	}
-	topoParams := topology.Params{ServersPerRack: 31, RacksPerArray: 16, Arrays: cfg.Arrays}
 	return runMemcachedWithTopology(cfg, topoParams, nil)
 }
 

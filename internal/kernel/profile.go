@@ -155,14 +155,22 @@ func IdealHost() Profile {
 	}
 }
 
-// ProfileByName returns a named profile ("2.6.39", "3.5.7").
+// ProfileByName returns a named profile ("2.6.39", "3.5.7", "ideal").
 func ProfileByName(name string) (Profile, error) {
 	switch name {
 	case "2.6.39", "2.6.39.3", "linux-2.6.39.3":
 		return Linux2639(), nil
 	case "3.5.7", "linux-3.5.7":
 		return Linux357(), nil
+	case "ideal", "ideal-host":
+		return IdealHost(), nil
 	default:
-		return Profile{}, fmt.Errorf("kernel: unknown profile %q", name)
+		return Profile{}, fmt.Errorf("kernel: unknown profile %q (known: %v)", name, ProfileNames())
 	}
+}
+
+// ProfileNames lists the canonical names of every built-in profile, in a
+// fixed order — the enumerable kernel axis of a campaign sweep.
+func ProfileNames() []string {
+	return []string{Linux2639().Name, Linux357().Name, IdealHost().Name}
 }

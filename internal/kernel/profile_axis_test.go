@@ -1,0 +1,40 @@
+package kernel
+
+import "testing"
+
+func TestProfileNamesResolve(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 3 {
+		t.Fatalf("%d profile names, want 3", len(names))
+	}
+	for _, name := range names {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Errorf("ProfileByName(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %s reports name %s", name, p.Name)
+		}
+	}
+}
+
+func TestProfileByNameAliases(t *testing.T) {
+	for alias, want := range map[string]string{
+		"2.6.39":     "linux-2.6.39.3",
+		"3.5.7":      "linux-3.5.7",
+		"ideal":      "ideal-host",
+		"ideal-host": "ideal-host",
+	} {
+		p, err := ProfileByName(alias)
+		if err != nil {
+			t.Errorf("alias %s: %v", alias, err)
+			continue
+		}
+		if p.Name != want {
+			t.Errorf("alias %s resolved to %s, want %s", alias, p.Name, want)
+		}
+	}
+	if _, err := ProfileByName("linux-9.9"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSurfaceSetAt(t *testing.T) {
+	s := NewSurface("p99.9", "us", []string{"a", "b"}, []string{"c0", "c1", "c2"})
+	if len(s.Values) != 2 || len(s.Values[0]) != 3 {
+		t.Fatalf("surface allocated %dx%d", len(s.Values), len(s.Values[0]))
+	}
+	s.Set(1, 2, 42.5)
+	if got := s.At(1, 2); got != 42.5 {
+		t.Errorf("At(1,2) = %v", got)
+	}
+	if got := s.At(0, 0); got != 0 {
+		t.Errorf("untouched cell = %v, want 0", got)
+	}
+}
+
+func TestSurfaceRender(t *testing.T) {
+	s := NewSurface("heat", "x", []string{"r0", "r1"}, []string{"lo", "hi"})
+	s.Set(0, 0, 1)
+	s.Set(0, 1, 2)
+	s.Set(1, 0, 3)
+	s.Set(1, 1, 10)
+	out := s.Render()
+	if out != s.Render() {
+		t.Fatal("Render is not deterministic")
+	}
+	for _, want := range []string{"heat [x]", "min 1", "max 10", "shade ramp", "10 @"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	// The min cell renders the coldest shade (space), the max cell the hottest.
+	if !strings.Contains(out, "1  ") {
+		t.Errorf("min cell not cold:\n%s", out)
+	}
+}
+
+func TestSurfaceRenderDegenerate(t *testing.T) {
+	empty := NewSurface("none", "", nil, nil)
+	if out := empty.Render(); !strings.Contains(out, "empty surface") {
+		t.Errorf("empty surface renders %q", out)
+	}
+	flat := NewSurface("flat", "us", []string{"r"}, []string{"c"})
+	flat.Set(0, 0, 5)
+	if out := flat.Render(); !strings.Contains(out, "5") {
+		t.Errorf("flat surface renders %q", out)
+	}
+}
+
+func TestDegradationSummaryTable(t *testing.T) {
+	rows := []DegradationRow{
+		{Cell: "a/b/c", P50Inflation: 1.1, P99Inflation: 2.5, P999Inflation: 9.75, LossRate: 0.125, FaultDrops: 7},
+	}
+	out := DegradationSummaryTable("deg", rows).String()
+	for _, want := range []string{"deg", "a/b/c", "2.50x", "9.75x", "0.1250", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+// Campaign-level manifest aggregation: a sweep of N observed runs produces N
+// run manifests; the campaign report identifies the whole sweep by one
+// digest chained from the per-cell digests. The chaining is order-sensitive
+// on purpose — cell order is part of the campaign's identity (the enumerator
+// fixes it), so the aggregate hash certifies both every cell's bytes and
+// their arrangement, independent of how many workers executed the sweep.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// HashBytes digests an artifact (typically one cell's encoded manifest) with
+// the same FNV-64a algorithm and "fnv64a:" prefix Registry.Hash uses, so
+// every digest in a campaign report reads uniformly.
+func HashBytes(b []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+// AggregateHash chains per-cell digests (in cell-enumeration order) into one
+// campaign-level digest. Each part is written with a newline separator so
+// part boundaries cannot alias.
+func AggregateHash(parts []string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+// EncodeJSON renders the manifest to its canonical byte form — the indented
+// encoding WriteJSON emits, as a slice. These bytes are what the campaign
+// replay contract is asserted against (byte-identical re-runs) and what
+// HashBytes digests into the per-cell manifest hash.
+func (m *Manifest) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeManifest parses an encoded manifest and checks its schema tag.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest decode: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

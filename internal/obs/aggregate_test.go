@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHashBytesStable(t *testing.T) {
+	h := HashBytes([]byte("diablo"))
+	if !strings.HasPrefix(h, "fnv64a:") || len(h) != len("fnv64a:")+16 {
+		t.Fatalf("hash form %q", h)
+	}
+	if h != HashBytes([]byte("diablo")) {
+		t.Error("HashBytes not stable")
+	}
+	if h == HashBytes([]byte("diablo!")) {
+		t.Error("HashBytes collides on a one-byte change")
+	}
+}
+
+func TestAggregateHashOrderAndAliasing(t *testing.T) {
+	a := AggregateHash([]string{"cell-a h1", "cell-b h2"})
+	if a != AggregateHash([]string{"cell-a h1", "cell-b h2"}) {
+		t.Error("AggregateHash not stable")
+	}
+	if a == AggregateHash([]string{"cell-b h2", "cell-a h1"}) {
+		t.Error("AggregateHash ignores order")
+	}
+	// The newline separator must keep part boundaries from aliasing.
+	if AggregateHash([]string{"ab", "c"}) == AggregateHash([]string{"a", "bc"}) {
+		t.Error("AggregateHash aliases across part boundaries")
+	}
+	if AggregateHash(nil) != AggregateHash([]string{}) {
+		t.Error("empty aggregate unstable")
+	}
+}

@@ -1,0 +1,39 @@
+package topology
+
+import "testing"
+
+func TestShapeNameRoundTrip(t *testing.T) {
+	for _, p := range []Params{
+		{ServersPerRack: 31, RacksPerArray: 16, Arrays: 1},
+		{ServersPerRack: 4, RacksPerArray: 2, Arrays: 3},
+	} {
+		got, err := ParseShape(p.ShapeName())
+		if err != nil {
+			t.Fatalf("%s: %v", p.ShapeName(), err)
+		}
+		if got != p {
+			t.Errorf("round trip %s -> %+v", p.ShapeName(), got)
+		}
+	}
+}
+
+func TestParseShapeErrors(t *testing.T) {
+	for _, s := range []string{"", "31x16", "31-16-1", "0x16x1", "31x0x1", "31x16x0", "axbxc"} {
+		if _, err := ParseShape(s); err == nil {
+			t.Errorf("ParseShape(%q) accepted", s)
+		}
+	}
+}
+
+func TestOversubscription(t *testing.T) {
+	p := Params{ServersPerRack: 31, RacksPerArray: 16, Arrays: 1}
+	if p.RackOversubscription() != 31 {
+		t.Errorf("rack oversub = %d", p.RackOversubscription())
+	}
+	if p.ArrayOversubscription() != 16 {
+		t.Errorf("array oversub = %d", p.ArrayOversubscription())
+	}
+	if p.ShapeName() != "31x16x1" {
+		t.Errorf("shape name = %s", p.ShapeName())
+	}
+}

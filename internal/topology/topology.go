@@ -29,6 +29,34 @@ type Params struct {
 	Arrays         int // A: array switches under the datacenter switch (paper: 4)
 }
 
+// ShapeName renders the shape in the canonical "SxRxA" sweep-axis form
+// ("31x16x4" is the paper's 1,984-node array). ParseShape inverts it.
+func (p Params) ShapeName() string {
+	return fmt.Sprintf("%dx%dx%d", p.ServersPerRack, p.RacksPerArray, p.Arrays)
+}
+
+// RackOversubscription returns the ToR uplink over-subscription ratio S:1
+// (31:1 in the paper's memcached setup; one uplink per ToR).
+func (p Params) RackOversubscription() int { return p.ServersPerRack }
+
+// ArrayOversubscription returns the array uplink over-subscription ratio R:1
+// (16:1 in the paper).
+func (p Params) ArrayOversubscription() int { return p.RacksPerArray }
+
+// ParseShape parses the canonical "SxRxA" form ("31x16x4") into validated
+// params. It is the campaign sweep's topology-axis grammar.
+func ParseShape(s string) (Params, error) {
+	var p Params
+	n, err := fmt.Sscanf(s, "%dx%dx%d", &p.ServersPerRack, &p.RacksPerArray, &p.Arrays)
+	if err != nil || n != 3 {
+		return Params{}, fmt.Errorf("topology: shape %q is not SxRxA (e.g. 31x16x4)", s)
+	}
+	if _, err := New(p); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
 // HopClass classifies a source/destination pair by the switches a request
 // traverses, following §4.2: Local = same rack (ToR only), OneHop = same
 // array (one array switch), TwoHop = crosses the datacenter switch.
